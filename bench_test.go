@@ -1,0 +1,165 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§IV). Each benchmark runs the corresponding experiment
+// from the internal/bench harness and reports the figure's headline
+// numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at smoke scale. The canonical
+// (larger) runs are produced by cmd/sealdb-bench; see EXPERIMENTS.md.
+package sealdb_test
+
+import (
+	"testing"
+
+	"sealdb/internal/bench"
+	"sealdb/internal/lsm"
+)
+
+// benchOptions keeps each figure fast enough to iterate under the
+// default -benchtime; cmd/sealdb-bench runs the full-scale versions.
+func benchOptions() bench.Options {
+	return bench.QuickOptions()
+}
+
+func BenchmarkTable2DevicePerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Metric {
+			case "Sequential read (MB/s)":
+				b.ReportMetric(r.HDD, "hdd-seqread-MB/s")
+				b.ReportMetric(r.SMR, "smr-seqread-MB/s")
+			case "Random write 4KiB (IOPS)":
+				b.ReportMetric(r.HDD, "hdd-randwrite-iops")
+				b.ReportMetric(r.SMR, "smr-randwrite-iops")
+			}
+		}
+	}
+}
+
+func BenchmarkFig2LevelDBLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunLayout(benchOptions(), lsm.ModeLevelDB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Compactions), "compactions")
+		b.ReportMetric(r.MeanExtentsPerCompaction, "extents/compaction")
+		b.ReportMetric(r.SpanMB, "span-MB")
+	}
+}
+
+func BenchmarkFig3BandSweep(b *testing.B) {
+	o := benchOptions()
+	o.LoadMB = 8
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		b.ReportMetric(first.MWA, "mwa-smallest-band")
+		b.ReportMetric(last.MWA, "mwa-largest-band")
+		b.ReportMetric(last.BandsPerCompaction, "bands/compaction-largest")
+	}
+}
+
+func BenchmarkFig8Micro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := rows[0]
+		for _, r := range rows {
+			n := r.Normalized(base)
+			b.ReportMetric(n.RandWrite, r.Store+"-randwrite-x")
+		}
+	}
+}
+
+func BenchmarkFig9YCSB(b *testing.B) {
+	o := benchOptions()
+	o.LoadMB = 6
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := rows[0]
+		for _, r := range rows {
+			if base.Ops["A"] > 0 {
+				b.ReportMetric(r.Ops["A"]/base.Ops["A"], r.Store+"-ycsbA-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Compaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		profiles, err := bench.RunFig10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range profiles {
+			b.ReportMetric(p.TotalTime.Seconds(), p.Store+"-total-compaction-s")
+			b.ReportMetric(p.MeanBytes/(1<<20), p.Store+"-mean-compaction-MB")
+		}
+	}
+}
+
+func BenchmarkFig11SEALDBLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunLayout(benchOptions(), lsm.ModeSEALDB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Compactions), "compactions")
+		b.ReportMetric(r.MeanExtentsPerCompaction, "extents/compaction")
+		b.ReportMetric(r.FootprintMB, "footprint-MB")
+	}
+}
+
+func BenchmarkFig12WriteAmp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.WA, r.Store+"-WA")
+			b.ReportMetric(r.AWA, r.Store+"-AWA")
+			b.ReportMetric(r.MWA, r.Store+"-MWA")
+		}
+	}
+}
+
+func BenchmarkFig13Fragments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := bench.RunFig13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Bands), "dynamic-bands")
+		b.ReportMetric(100*res.FragmentOfUsed, "fragments-pct")
+	}
+}
+
+func BenchmarkFig14Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig14(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := rows[0]
+		for _, r := range rows {
+			n := r.Normalized(base)
+			b.ReportMetric(n.RandWrite, r.Store+"-randwrite-x")
+			b.ReportMetric(n.SeqRead, r.Store+"-seqread-x")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Command sealdb-bench regenerates the tables and figures of the
+// paper's evaluation section. Each figure prints a summary table to
+// stdout; layout/latency series can additionally be dumped as CSV
+// for plotting.
+//
+// Usage:
+//
+//	sealdb-bench -fig 8                 # one figure
+//	sealdb-bench -fig 2,3,8,9,10,11,12,13,14 -table 2
+//	sealdb-bench -all                   # everything
+//	sealdb-bench -all -mb 192 -sst 262144   # bigger run
+//	sealdb-bench -fig 2 -csv fig2.csv   # scatter data for plotting
+//
+// All timings are simulated device time (deterministic); see
+// EXPERIMENTS.md for the mapping to the paper's results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sealdb/internal/bench"
+	"sealdb/internal/kv"
+	"sealdb/internal/lsm"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "", "comma-separated figure numbers to run (2,3,8,9,10,11,12,13,14)")
+		table   = flag.Int("table", 0, "table number to run (2)")
+		all     = flag.Bool("all", false, "run every table and figure")
+		mb      = flag.Int64("mb", 0, "load size in MiB (default: harness default)")
+		sst     = flag.Int64("sst", 0, "SSTable size in bytes (sets the geometry scale; default 64 KiB)")
+		paper   = flag.Bool("paperscale", false, "use the paper's full-scale geometry (4 MiB SSTables; slow)")
+		ops     = flag.Int("ops", 0, "read/YCSB operations per phase")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csvPath = flag.String("csv", "", "write figure series data (figs 2, 10, 11, 13) as CSV to this file")
+		gc      = flag.Bool("gc", false, "also run the dynamic-band GC ablation (DefragmentBands)")
+		latency = flag.Bool("latency", false, "also run the per-operation latency profile")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Seed = seed1(*seed)
+	if *sst > 0 {
+		o.Geometry = lsm.ScaledGeometry(*sst, diskFor(*sst))
+	}
+	if *paper {
+		o.Geometry = lsm.PaperGeometry()
+	}
+	if *mb > 0 {
+		o.LoadMB = *mb
+	}
+	if *ops > 0 {
+		o.ReadOps = *ops
+		o.YCSBOps = *ops
+	}
+
+	want := map[string]bool{}
+	if *all {
+		for _, f := range []string{"2", "3", "8", "9", "10", "11", "12", "13", "14"} {
+			want[f] = true
+		}
+	}
+	for _, f := range strings.Split(*figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+	runTable2 := *all || *table == 2
+	if len(want) == 0 && !runTable2 && !*gc && !*latency {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	fmt.Printf("# sealdb-bench: SSTable %s, band %s, load %d MiB, value %d B, seed %d\n\n",
+		human(o.Geometry.SSTableSize), human(o.Geometry.BandSize), o.LoadMB, o.ValueSize, o.Seed)
+
+	if runTable2 {
+		rows, err := bench.RunTable2(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["2"] {
+		r, err := bench.RunLayout(o, lsm.ModeLevelDB)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintLayout(os.Stdout, "Fig 2", r)
+		if csv != nil {
+			bench.WriteLayoutCSV(csv, r)
+		}
+		fmt.Println()
+	}
+	if want["3"] {
+		rows, err := bench.RunFig3(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["8"] {
+		rows, err := bench.RunFig8(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintMicroRows(os.Stdout, "Fig 8", rows)
+		fmt.Println()
+	}
+	if want["9"] {
+		rows, err := bench.RunFig9(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig9(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["10"] {
+		profiles, err := bench.RunFig10(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig10(os.Stdout, profiles)
+		if csv != nil {
+			bench.WriteFig10CSV(csv, profiles)
+		}
+		fmt.Println()
+	}
+	if want["11"] {
+		r, err := bench.RunLayout(o, lsm.ModeSEALDB)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintLayout(os.Stdout, "Fig 11", r)
+		if csv != nil {
+			bench.WriteLayoutCSV(csv, r)
+		}
+		fmt.Println()
+	}
+	if want["12"] {
+		rows, err := bench.RunFig12(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig12(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["13"] {
+		res, points, err := bench.RunFig13(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig13(os.Stdout, res)
+		if csv != nil {
+			fmt.Fprintf(csv, "band,offset_mb,length_kb\n")
+			for _, p := range points {
+				fmt.Fprintf(csv, "%d,%.3f,%.3f\n", p.Compaction, p.OffsetMB, p.LengthKB)
+			}
+		}
+		fmt.Println()
+	}
+	if want["14"] {
+		rows, err := bench.RunFig14(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintMicroRows(os.Stdout, "Fig 14", rows)
+		fmt.Println()
+	}
+	if *gc {
+		res, err := bench.RunGCAblation(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintGCAblation(os.Stdout, res)
+		fmt.Println()
+	}
+	if *latency {
+		rows, err := bench.RunLatencyProfile(o)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintLatencyRows(os.Stdout, rows)
+		fmt.Println()
+	}
+}
+
+func seed1(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func diskFor(sst int64) int64 {
+	cap := 2048 * sst // plenty of headroom over any load
+	if cap < 1*kv.GiB {
+		cap = 1 * kv.GiB
+	}
+	return cap
+}
+
+func human(n int64) string {
+	switch {
+	case n >= kv.GiB:
+		return fmt.Sprintf("%.1f GiB", float64(n)/float64(kv.GiB))
+	case n >= kv.MiB:
+		return fmt.Sprintf("%.1f MiB", float64(n)/float64(kv.MiB))
+	case n >= kv.KiB:
+		return fmt.Sprintf("%.1f KiB", float64(n)/float64(kv.KiB))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sealdb-bench:", err)
+	os.Exit(1)
+}

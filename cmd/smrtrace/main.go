@@ -1,0 +1,80 @@
+// Command smrtrace loads a store while tracing every device access
+// attributed to a compaction, and dumps the placement data behind the
+// paper's layout figures (2, 11, 13) as CSV on stdout.
+//
+// Usage:
+//
+//	smrtrace -mode leveldb -mb 32 > fig2.csv    # Figure 2
+//	smrtrace -mode sealdb  -mb 32 > fig11.csv   # Figure 11
+//	smrtrace -mode sealdb  -mb 32 -bands > fig13.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sealdb/internal/bench"
+	"sealdb/internal/lsm"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "sealdb", "engine mode: leveldb, leveldb+sets, smrdb, sealdb")
+		mb    = flag.Int64("mb", 0, "load size in MiB")
+		sst   = flag.Int64("sst", 0, "SSTable size in bytes")
+		bands = flag.Bool("bands", false, "dump the dynamic band census (Fig 13) instead of the write trace")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Seed = *seed
+	if *sst > 0 {
+		o.Geometry = lsm.ScaledGeometry(*sst, 2048**sst)
+	}
+	if *mb > 0 {
+		o.LoadMB = *mb
+	}
+
+	var m lsm.Mode
+	switch *mode {
+	case "leveldb":
+		m = lsm.ModeLevelDB
+	case "leveldb+sets":
+		m = lsm.ModeLevelDBSets
+	case "smrdb":
+		m = lsm.ModeSMRDB
+	case "sealdb":
+		m = lsm.ModeSEALDB
+	default:
+		fmt.Fprintf(os.Stderr, "smrtrace: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if *bands {
+		if m != lsm.ModeSEALDB {
+			fmt.Fprintln(os.Stderr, "smrtrace: -bands requires -mode sealdb")
+			os.Exit(2)
+		}
+		res, points, err := bench.RunFig13(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smrtrace:", err)
+			os.Exit(1)
+		}
+		bench.PrintFig13(os.Stderr, res)
+		fmt.Println("band,offset_mb,length_kb")
+		for _, p := range points {
+			fmt.Printf("%d,%.3f,%.3f\n", p.Compaction, p.OffsetMB, p.LengthKB)
+		}
+		return
+	}
+
+	r, err := bench.RunLayout(o, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smrtrace:", err)
+		os.Exit(1)
+	}
+	bench.PrintLayout(os.Stderr, "layout", r)
+	bench.WriteLayoutCSV(os.Stdout, r)
+}

@@ -1,0 +1,88 @@
+// Quickstart: open a SEALDB store on an emulated host-managed SMR
+// drive, write and read some data, and look at the amplification
+// metrics that motivate the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sealdb"
+)
+
+func main() {
+	// DefaultConfig picks the scaled geometry: 256 KiB SSTables and
+	// 2.5 MiB dynamic bands on an 8 GiB emulated raw SMR drive.
+	db, err := sealdb.Open(sealdb.DefaultConfig(sealdb.ModeSEALDB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Point writes and reads.
+	if err := db.Put([]byte("city:wuhan"), []byte("WNLO, HUST")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("city:wuhan"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city:wuhan -> %s\n", v)
+
+	// Batched, atomic writes.
+	batch := sealdb.NewBatch()
+	for i := 0; i < 50000; i++ {
+		batch.Put(fmt.Appendf(nil, "key%06d", i), fmt.Appendf(nil, "value-%06d", i))
+		if batch.Len() == 1000 {
+			if err := db.Apply(batch); err != nil {
+				log.Fatal(err)
+			}
+			batch.Reset()
+		}
+	}
+	if err := db.Apply(batch); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deletes and range scans.
+	if err := db.Delete([]byte("key000003")); err != nil {
+		log.Fatal(err)
+	}
+	kvs, err := db.Scan([]byte("key000000"), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first five keys after deleting key000003:")
+	for _, e := range kvs {
+		fmt.Printf("  %s = %s\n", e.Key, e.Value)
+	}
+
+	// Reverse scans.
+	rkvs, err := db.ScanReverse(nil, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("last three keys, descending:")
+	for _, e := range rkvs {
+		fmt.Printf("  %s\n", e.Key)
+	}
+
+	// Snapshot isolation.
+	snap := db.NewSnapshot()
+	db.Put([]byte("key000000"), []byte("overwritten"))
+	old, _ := db.GetAt([]byte("key000000"), snap)
+	cur, _ := db.Get([]byte("key000000"))
+	fmt.Printf("snapshot sees %q, latest sees %q\n", old, cur)
+	snap.Release()
+
+	// The numbers the paper is about: WA from the LSM-tree, AWA from
+	// the SMR drive (1.0 by construction for SEALDB), and their
+	// product MWA.
+	amp := db.Amplification()
+	fmt.Printf("WA %.2f x AWA %.3f = MWA %.2f\n", amp.WA, amp.AWA, amp.MWA)
+	st := db.Stats()
+	fmt.Printf("%d flushes, %d compactions, %d trivial moves\n",
+		st.FlushCount, st.CompactionCount, st.TrivialMoves)
+	fmt.Printf("device busy (simulated): %v\n",
+		db.Device().Disk.Stats().BusyTime.Round(1e6))
+}

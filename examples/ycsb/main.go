@@ -1,0 +1,63 @@
+// YCSB example: load the same workload into the LevelDB baseline and
+// SEALDB, run YCSB-A against both, and compare simulated throughput —
+// a miniature of the paper's Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sealdb"
+	"sealdb/internal/ycsb"
+)
+
+const (
+	records   = 20000
+	valueSize = 1024
+	ops       = 5000
+)
+
+func main() {
+	for _, mode := range []sealdb.Mode{sealdb.ModeLevelDB, sealdb.ModeSEALDB} {
+		loadRate, runRate, amp := run(mode)
+		fmt.Printf("%-8s load %8.0f ops/s   YCSB-A %8.0f ops/s   (WA %.2f, AWA %.3f, MWA %.2f)\n",
+			mode, loadRate, runRate, amp.WA, amp.AWA, amp.MWA)
+	}
+}
+
+func run(mode sealdb.Mode) (loadRate, runRate float64, amp sealdb.Amplification) {
+	db, err := sealdb.Open(sealdb.DefaultConfig(mode))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	runner := ycsb.NewRunner(store{db}, valueSize, 1)
+	start := busy(db)
+	if err := runner.LoadRandom(records); err != nil {
+		log.Fatal(err)
+	}
+	loadRate = float64(records) / (busy(db) - start).Seconds()
+
+	start = busy(db)
+	res, err := runner.Run(ycsb.WorkloadA, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runRate = float64(res.Ops) / (busy(db) - start).Seconds()
+	return loadRate, runRate, db.Amplification()
+}
+
+func busy(db *sealdb.DB) time.Duration {
+	return db.Device().Disk.Stats().BusyTime
+}
+
+type store struct{ db *sealdb.DB }
+
+func (s store) Put(k, v []byte) error        { return s.db.Put(k, v) }
+func (s store) Get(k []byte) ([]byte, error) { return s.db.Get(k) }
+func (s store) ScanN(start []byte, n int) (int, error) {
+	kvs, err := s.db.Scan(start, n)
+	return len(kvs), err
+}

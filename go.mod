@@ -1,0 +1,3 @@
+module sealdb
+
+go 1.24

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram collects duration samples and reports percentiles; used
+// for per-operation simulated latencies.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders "mean / p50 / p99 / max".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean %v  p50 %v  p99 %v  max %v",
+		h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 || h.N() != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	// Adding after a percentile query re-sorts correctly.
+	h.Add(200 * time.Millisecond)
+	if got := h.Max(); got != 200*time.Millisecond {
+		t.Errorf("max after add = %v", got)
+	}
+	if h.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestLatencyProfileShapes(t *testing.T) {
+	o := QuickOptions()
+	o.YCSBOps = 400
+	rows, err := RunLatencyProfile(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStore := map[string]LatencyRow{}
+	for _, r := range rows {
+		byStore[r.Store] = r
+	}
+	ldb, seal := byStore["leveldb"], byStore["sealdb"]
+	if ldb.Reads.N() == 0 || ldb.Writes.N() == 0 {
+		t.Fatal("no samples")
+	}
+	// The paper's §II-C point: LevelDB-on-SMR writes stall behind
+	// band cleaning; SEALDB's mean write latency must be lower.
+	if seal.Writes.Mean() >= ldb.Writes.Mean() {
+		t.Errorf("mean write latency: sealdb %v >= leveldb %v",
+			seal.Writes.Mean(), ldb.Writes.Mean())
+	}
+	PrintLatencyRows(io.Discard, rows)
+}
+
+func TestGCAblation(t *testing.T) {
+	o := QuickOptions()
+	o.LoadMB = 16 // more churn, more fragments
+	res, err := RunGCAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetsMoved > 0 {
+		if res.FragmentsAfter >= res.FragmentsBefore {
+			t.Errorf("GC did not reduce fragments: %d -> %d",
+				res.FragmentsBefore, res.FragmentsAfter)
+		}
+		if res.GCTime <= 0 {
+			t.Error("GC consumed no simulated time")
+		}
+	}
+	PrintGCAblation(io.Discard, res)
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/ycsb"
+)
+
+// YCSBRow is one store's throughput across the YCSB workloads
+// (Figure 9): the load phase plus workloads A–F, in simulated ops/s.
+type YCSBRow struct {
+	Store string
+	Load  float64
+	Ops   map[string]float64 // workload name -> ops/s
+}
+
+// RunFig9 loads each store and runs YCSB A–F against it.
+func RunFig9(o Options) ([]YCSBRow, error) {
+	var rows []YCSBRow
+	for _, mode := range []lsm.Mode{lsm.ModeLevelDB, lsm.ModeSMRDB, lsm.ModeSEALDB} {
+		db, err := o.openStore(mode)
+		if err != nil {
+			return nil, err
+		}
+		row := YCSBRow{Store: mode.String(), Ops: map[string]float64{}}
+		runner := ycsb.NewRunner(storeAdapter{db}, o.ValueSize, o.Seed)
+		records := o.Records()
+		d, err := phase(db, func() error { return runner.LoadRandom(records) })
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %v load: %w", mode, err)
+		}
+		row.Load = throughput(records, d)
+
+		for _, w := range ycsb.CoreWorkloads() {
+			ops := o.YCSBOps
+			if w.ScanProp > 0 {
+				// Workload E's scans touch MaxScanLen records per op;
+				// trim the op count to keep runtimes proportionate.
+				ops = o.YCSBOps / 10
+			}
+			var res ycsb.Result
+			d, err := phase(db, func() error {
+				var err error
+				res, err = runner.Run(w, ops)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v workload %s: %w", mode, w.Name, err)
+			}
+			row.Ops[w.Name] = throughput(int64(res.Ops), d)
+		}
+		rows = append(rows, row)
+		db.Close()
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the YCSB table, normalized to the first store.
+func PrintFig9(w io.Writer, rows []YCSBRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig 9: store\tload\tA\tB\tC\tD\tE\tF\t(normalized to %s)\n", rows[0].Store)
+	base := rows[0]
+	norm := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2fx", r.Store, norm(r.Load, base.Load))
+		for _, wl := range ycsb.CoreWorkloads() {
+			fmt.Fprintf(tw, "\t%.2fx", norm(r.Ops[wl.Name], base.Ops[wl.Name]))
+		}
+		fmt.Fprintf(tw, "\t\n")
+	}
+	tw.Flush()
+}

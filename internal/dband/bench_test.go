@@ -1,0 +1,27 @@
+package dband
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAllocFreeChurn(b *testing.B) {
+	m := New(1<<30, 256<<10, 256<<10)
+	rng := rand.New(rand.NewSource(1))
+	live := make([]Extent, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 512 || (len(live) > 0 && rng.Intn(3) == 0) {
+			j := rng.Intn(len(live))
+			m.Free(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		e, _, err := m.Alloc(int64(1+rng.Intn(10)) * 256 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, e)
+	}
+}

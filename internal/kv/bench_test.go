@@ -1,0 +1,23 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCompareInternal(b *testing.B) {
+	a := MakeInternalKey(nil, []byte("user000000001234"), 99, KindSet)
+	c := MakeInternalKey(nil, []byte("user000000001235"), 98, KindSet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompareInternal(a, c)
+	}
+}
+
+func BenchmarkMakeInternalKey(b *testing.B) {
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = MakeInternalKey(buf, fmt.Appendf(nil, "key%09d", i), SeqNum(i), KindSet)
+	}
+}

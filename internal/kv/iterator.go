@@ -1,0 +1,25 @@
+package kv
+
+// Iterator is the bidirectional iterator interface shared by
+// memtables, SSTables, and merging iterators. Positioning follows the
+// LevelDB conventions: an iterator starts invalid; Seek positions at
+// the first entry with an internal key >= the target; Key and Value
+// are only legal while Valid reports true, and the returned slices
+// are only guaranteed until the next positioning call. Next on the
+// last entry and Prev on the first entry invalidate the iterator;
+// re-position with a seek to continue.
+type Iterator interface {
+	Valid() bool
+	SeekToFirst()
+	SeekToLast()
+	// Seek positions at the first entry whose internal key is >=
+	// target in CompareInternal order.
+	Seek(target InternalKey)
+	Next()
+	Prev()
+	Key() InternalKey
+	Value() []byte
+	// Error reports a corruption or I/O error encountered while
+	// iterating; an iterator with a pending error is invalid.
+	Error() error
+}

@@ -1,0 +1,499 @@
+package lsm
+
+import (
+	"bytes"
+	"io"
+	"sort"
+
+	"sealdb/internal/kv"
+	"sealdb/internal/sstable"
+	"sealdb/internal/storage"
+	"sealdb/internal/version"
+)
+
+// compaction describes one picked compaction.
+type compaction struct {
+	level    int // input level
+	outLevel int
+	inputs0  []*version.FileMeta // from level
+	inputs1  []*version.FileMeta // from outLevel (the victim's set)
+	trivial  bool
+}
+
+func (c *compaction) inputBytes() int64 {
+	var n int64
+	for _, f := range c.inputs0 {
+		n += f.Size
+	}
+	for _, f := range c.inputs1 {
+		n += f.Size
+	}
+	return n
+}
+
+// pickCompaction selects the neediest level and builds the compaction
+// unit: the victim SSTable(s) plus the overlapping files of the next
+// level — which in SEALDB is precisely the victim's set. It returns
+// nil when every level is within its target. Caller holds d.mu.
+func (d *DB) pickCompaction() *compaction {
+	v := d.vs.Current()
+	level, score := -1, 0.0
+	// Level 0 pressure: file count.
+	if s := float64(v.NumFiles(0)) / float64(d.cfg.L0CompactTrigger); s >= 1 && s > score {
+		level, score = 0, s
+	}
+	// Deeper levels: bytes against target. The last level has no
+	// target (nowhere to push data down to).
+	for l := 1; l < d.cfg.NumLevels-1; l++ {
+		if s := float64(v.LevelBytes(l)) / float64(d.cfg.maxBytesForLevel(l)); s >= 1 && s > score {
+			level, score = l, s
+		}
+	}
+	if level < 0 {
+		return nil
+	}
+
+	c := &compaction{level: level, outLevel: level + 1}
+	victim := d.pickVictim(v, level)
+	if victim == nil {
+		return nil
+	}
+	c.inputs0 = []*version.FileMeta{victim}
+
+	if level == 0 {
+		// Level-0 files overlap each other: pull in every L0 file
+		// whose range touches the victim's, growing to a fixpoint.
+		smallest, largest := victim.Smallest.UserKey(), victim.Largest.UserKey()
+		for {
+			files := v.Overlaps(0, smallest, largest, false)
+			if len(files) == len(c.inputs0) {
+				break
+			}
+			c.inputs0 = files
+			smallest, largest = keyRange(files)
+		}
+	}
+
+	lo, hi := keyRange(c.inputs0)
+	c.inputs1 = v.Overlaps(c.outLevel, lo, hi, d.cfg.sortedLevel(c.outLevel))
+
+	// SMRDB: its single deep level overlaps, so one compaction could
+	// implicate an unbounded set of files; the re-implementation caps
+	// the fan-in (DESIGN.md, known deviations).
+	if d.cfg.Mode == ModeSMRDB && len(c.inputs1) > d.cfg.MaxCompactionFiles {
+		c.inputs1 = c.inputs1[:d.cfg.MaxCompactionFiles]
+	}
+
+	// Trivial move: a single input with nothing to merge against
+	// moves down without I/O (LevelDB's IsTrivialMove). Legal into an
+	// overlapped level too — overlap is permitted there by design.
+	if len(c.inputs0) == 1 && len(c.inputs1) == 0 {
+		c.trivial = true
+	}
+	return c
+}
+
+// pickVictim chooses the file to compact out of a level. SEALDB
+// prioritizes members of the set with the most invalid SSTables (the
+// paper's implicit garbage collection); everyone falls back to
+// LevelDB's round-robin compact pointer.
+func (d *DB) pickVictim(v *version.Version, level int) *version.FileMeta {
+	files := v.Files[level]
+	if len(files) == 0 {
+		return nil
+	}
+	if d.cfg.Mode == ModeSEALDB && level >= 2 {
+		best, bestInvalid := -1, 0
+		for i, f := range files {
+			if f.SetID == 0 {
+				continue
+			}
+			if inv := d.sets.invalidCount(f.SetID); inv > bestInvalid {
+				best, bestInvalid = i, inv
+			}
+		}
+		if best >= 0 {
+			return files[best]
+		}
+	}
+	ptr := d.vs.CompactPointer(level)
+	if ptr != nil {
+		for _, f := range files {
+			if kv.CompareInternal(f.Largest, ptr) > 0 {
+				return f
+			}
+		}
+	}
+	return files[0]
+}
+
+// keyRange returns the user-key span of a file list.
+func keyRange(files []*version.FileMeta) (lo, hi []byte) {
+	for _, f := range files {
+		if lo == nil || kv.CompareUser(f.Smallest.UserKey(), lo) < 0 {
+			lo = f.Smallest.UserKey()
+		}
+		if hi == nil || kv.CompareUser(f.Largest.UserKey(), hi) > 0 {
+			hi = f.Largest.UserKey()
+		}
+	}
+	return lo, hi
+}
+
+// runCompaction executes a compaction: merge the inputs, write the
+// outputs (as one contiguous set when the mode calls for it), log the
+// edit, and reclaim input space. Caller holds d.mu.
+func (d *DB) runCompaction(c *compaction) error {
+	d.compID++
+	id := d.compID
+	startBusy := d.disk.Stats().BusyTime
+
+	if c.trivial {
+		f := c.inputs0[0]
+		edit := &version.Edit{
+			Deleted: []version.DeletedFile{{Level: c.level, Num: f.Num}},
+			Added:   []version.AddedFile{{Level: c.outLevel, Meta: f}},
+			CompactPointers: []version.CompactPointer{
+				{Level: c.level, Key: f.Largest.Clone()},
+			},
+		}
+		if err := d.vs.LogAndApply(edit); err != nil {
+			return err
+		}
+		d.stats.TrivialMoves++
+		d.stats.Compactions = append(d.stats.Compactions, CompactionInfo{
+			ID: id, FromLevel: c.level, ToLevel: c.outLevel,
+			Inputs0: 1, TrivialMove: true,
+		})
+		return nil
+	}
+
+	d.disk.SetTag(int64(id))
+	outputs, err := d.mergeInputs(c)
+	if err != nil {
+		return err
+	}
+
+	// Place the outputs: grouped modes write the new set in one
+	// contiguous extent; others write file by file.
+	var (
+		newSet   *version.SetRecord
+		outFiles []version.AddedFile
+	)
+	nums := make([]uint64, len(outputs))
+	datas := make([][]byte, len(outputs))
+	var outBytes int64
+	for i, o := range outputs {
+		nums[i] = o.num
+		datas[i] = o.data
+		outBytes += int64(len(o.data))
+	}
+	if len(outputs) > 0 && d.cfg.groupedOutputs(c.outLevel) {
+		ext, grouped, err := d.backend.WriteGroup(nums, datas)
+		if err != nil {
+			return err
+		}
+		if grouped {
+			rec := version.SetRecord{ID: nums[0], Off: ext.Off, Len: ext.Len, Members: len(nums)}
+			newSet = &rec
+			d.sets.register(rec, nums)
+		}
+	} else {
+		for i := range outputs {
+			if err := d.backend.WriteFile(nums[i], datas[i]); err != nil {
+				return err
+			}
+		}
+	}
+	d.disk.SetTag(0)
+	setID := uint64(0)
+	if newSet != nil {
+		setID = newSet.ID
+	}
+	for _, o := range outputs {
+		o.meta.SetID = setID
+		outFiles = append(outFiles, version.AddedFile{Level: c.outLevel, Meta: o.meta})
+	}
+
+	// Build and log the edit, including set bookkeeping: the new set
+	// and any input sets emptied by this compaction.
+	edit := &version.Edit{Added: outFiles}
+	if newSet != nil {
+		edit.NewSets = []version.SetRecord{*newSet}
+	}
+	for _, f := range c.inputs0 {
+		edit.Deleted = append(edit.Deleted, version.DeletedFile{Level: c.level, Num: f.Num})
+	}
+	for _, f := range c.inputs1 {
+		edit.Deleted = append(edit.Deleted, version.DeletedFile{Level: c.outLevel, Num: f.Num})
+	}
+	_, hi := keyRange(c.inputs0)
+	edit.CompactPointers = []version.CompactPointer{
+		{Level: c.level, Key: kv.MakeInternalKey(nil, hi, 0, kv.KindDelete)},
+	}
+
+	// Mark dead inputs in the set registry before logging so the
+	// edit carries the DropSet records atomically.
+	var freedExtents []storage.Extent
+	allInputs := append(append([]*version.FileMeta(nil), c.inputs0...), c.inputs1...)
+	for _, f := range allInputs {
+		if ext, setID, emptied := d.sets.fileInvalid(f.Num); emptied {
+			edit.DropSets = append(edit.DropSets, setID)
+			freedExtents = append(freedExtents, ext)
+		}
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+
+	// Reclaim space: ungrouped inputs free immediately via Remove;
+	// grouped inputs were only forgotten, and their extents return to
+	// the free list when their whole set died.
+	for _, f := range allInputs {
+		d.dropTable(f.Num)
+		d.backend.Remove(f.Num)
+	}
+	for _, ext := range freedExtents {
+		if err := d.backend.FreeExtent(ext); err != nil {
+			return err
+		}
+	}
+
+	placements := make([]storage.Extent, 0, len(outputs))
+	for _, o := range outputs {
+		if ext, err := d.backend.FileExtent(o.num); err == nil {
+			placements = append(placements, ext)
+		}
+	}
+	inBytes := c.inputBytes()
+	d.stats.CompactionCount++
+	d.stats.CompactionReadBytes += inBytes
+	d.stats.CompactionWriteBytes += outBytes
+	d.stats.Compactions = append(d.stats.Compactions, CompactionInfo{
+		ID: id, FromLevel: c.level, ToLevel: c.outLevel,
+		Inputs0: len(c.inputs0), Inputs1: len(c.inputs1),
+		InputBytes: inBytes, OutputBytes: outBytes,
+		OutputFiles:      len(outputs),
+		Latency:          d.disk.Stats().BusyTime - startBusy,
+		OutputPlacements: placements,
+	})
+	return nil
+}
+
+// output is a finished compaction output table.
+type output struct {
+	num  uint64
+	data []byte
+	meta *version.FileMeta
+}
+
+// readahead models the OS readahead a streaming merge gets on each
+// input file: 128 KiB at full scale, shrunk with the device time
+// scale so the seek-to-transfer ratio of a k-way interleaved merge is
+// as scale-invariant as the 4 KiB block floor allows.
+func (c *Config) readahead() int {
+	scale := c.DeviceTimeScale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	ra := int(float64(128*kv.KiB) * scale)
+	if ra < 4096 {
+		ra = 4096
+	}
+	return ra
+}
+
+// inputIterators builds the merge's child iterators.
+//
+// This is where the paper's set advantage lives: SEALDB (and the
+// LevelDB+sets ablation) first reads every input whole — and a set is
+// one contiguous extent, so those reads are one large sequential I/O
+// — then merges from memory (§III-A: "multiple random accesses on
+// scattered SSTables are turned into a large sequential one").
+// LevelDB and SMRDB stream their inputs block by block instead, the
+// k-way interleave paying a seek whenever it switches files.
+// Both paths bypass the block cache, as LevelDB compactions do.
+func (d *DB) inputIterators(c *compaction) ([]kv.Iterator, error) {
+	all := append(append([]*version.FileMeta(nil), c.inputs0...), c.inputs1...)
+	var children []kv.Iterator
+	if d.cfg.groupedOutputs(2) {
+		// Prefetch in physical order so contiguous sets are read in
+		// one pass without seeking.
+		sorted := append([]*version.FileMeta(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool {
+			ei, _ := d.backend.FileExtent(sorted[i].Num)
+			ej, _ := d.backend.FileExtent(sorted[j].Num)
+			return ei.Off < ej.Off
+		})
+		for _, f := range sorted {
+			size, err := d.backend.FileSize(f.Num)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]byte, size)
+			if _, err := d.backend.ReadFileAt(f.Num, buf, 0); err != nil && err != io.EOF {
+				return nil, err
+			}
+			t, err := sstable.Open(bytes.NewReader(buf), size, f.Num, nil)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, t.NewIterator())
+		}
+		return children, nil
+	}
+	for _, f := range all {
+		t, err := d.openTable(f)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, t.NewCompactionIterator(d.cfg.readahead()))
+	}
+	return children, nil
+}
+
+// mergeInputs runs the merge loop: inputs are read in key order,
+// shadowed versions and dead tombstones are dropped (respecting
+// snapshots), and outputs are cut at the SSTable target size, never
+// splitting a user key across outputs. Caller holds d.mu.
+func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
+	children, err := d.inputIterators(c)
+	if err != nil {
+		return nil, err
+	}
+	merge := newMergingIter(children...)
+
+	smallestSnap := d.smallestSnapshot()
+	var (
+		outputs     []*output
+		builder     *sstable.Builder
+		curUser     []byte
+		haveCur     bool
+		lastSeq     kv.SeqNum
+		wantCut     bool
+		lastOutUser []byte
+	)
+	finish := func() error {
+		if builder == nil || builder.Empty() {
+			builder = nil
+			return nil
+		}
+		data, meta, err := builder.Finish()
+		if err != nil {
+			return err
+		}
+		num := d.vs.NewFileNum()
+		outputs = append(outputs, &output{
+			num:  num,
+			data: append([]byte(nil), data...),
+			meta: &version.FileMeta{
+				Num: num, Size: meta.Size,
+				Smallest: meta.Smallest, Largest: meta.Largest,
+			},
+		})
+		builder = nil
+		wantCut = false
+		return nil
+	}
+
+	for merge.SeekToFirst(); merge.Valid(); merge.Next() {
+		ik := merge.Key()
+		user := ik.UserKey()
+		drop := false
+		if !haveCur || kv.CompareUser(user, curUser) != 0 {
+			curUser = append(curUser[:0], user...)
+			haveCur = true
+			lastSeq = kv.MaxSeqNum
+		}
+		switch {
+		case lastSeq <= smallestSnap:
+			// A newer version of this key, itself visible at the
+			// oldest snapshot, has already been emitted: this one is
+			// unreachable.
+			drop = true
+		case ik.Kind() == kv.KindDelete && ik.Seq() <= smallestSnap && d.isBaseLevelForKey(c, user):
+			// Tombstone with nothing underneath it to shadow.
+			drop = true
+		}
+		lastSeq = ik.Seq()
+		if drop {
+			continue
+		}
+
+		// Cut the output at the size target, but never between
+		// versions of one user key.
+		if wantCut && (lastOutUser == nil || kv.CompareUser(user, lastOutUser) != 0) {
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		}
+		if builder == nil {
+			builder = sstable.NewBuilder().SetCompression(d.cfg.Compression)
+		}
+		builder.Add(ik, merge.Value())
+		lastOutUser = append(lastOutUser[:0], user...)
+		if builder.EstimatedSize() >= d.cfg.SSTableSize {
+			wantCut = true
+		}
+	}
+	if err := merge.Error(); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// isBaseLevelForKey reports whether no level deeper than the
+// compaction's output can hold user key — and, for overlapped
+// levels, that no uninvolved file of the output level overlaps it —
+// so a sufficiently old tombstone can be dropped.
+func (d *DB) isBaseLevelForKey(c *compaction, user []byte) bool {
+	v := d.vs.Current()
+	for l := c.outLevel + 1; l < d.cfg.NumLevels; l++ {
+		if len(v.Overlaps(l, user, user, d.cfg.sortedLevel(l))) > 0 {
+			return false
+		}
+	}
+	if !d.cfg.sortedLevel(c.outLevel) {
+		in := make(map[uint64]bool, len(c.inputs1))
+		for _, f := range c.inputs1 {
+			in[f.Num] = true
+		}
+		for _, f := range v.Overlaps(c.outLevel, user, user, false) {
+			if !in[f.Num] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompactAll drives compactions until the tree is balanced; useful
+// for tests and to settle a freshly loaded database.
+func (d *DB) CompactAll() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.compactUntilBalanced()
+}
+
+// FlushMemtable forces the current memtable to level 0 (test hook and
+// benchmark phase boundary).
+func (d *DB) FlushMemtable() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.mem.Empty() {
+		return nil
+	}
+	if err := d.rotateAndFlush(d.cfg.walSize()); err != nil {
+		return err
+	}
+	return d.compactUntilBalanced()
+}

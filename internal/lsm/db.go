@@ -1,0 +1,372 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sealdb/internal/dband"
+	"sealdb/internal/extfs"
+	"sealdb/internal/kv"
+	"sealdb/internal/memtable"
+	"sealdb/internal/platter"
+	"sealdb/internal/smr"
+	"sealdb/internal/sstable"
+	"sealdb/internal/storage"
+	"sealdb/internal/version"
+	"sealdb/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: database is closed")
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// Device bundles the emulated drive stack a DB runs on. It survives
+// DB close, playing the role of the physical disk: reopening a DB on
+// the same Device exercises MANIFEST and WAL recovery against the
+// bytes that were actually written.
+type Device struct {
+	Disk    *platter.Disk
+	Drive   smr.Drive
+	Backend *storage.Backend
+	// DBand is the dynamic band manager (SEALDB mode only).
+	DBand *dband.Manager
+	// ExtFS is the file-system-like allocator (LevelDB modes only).
+	ExtFS *extfs.Allocator
+}
+
+// NewDevice builds the per-mode drive stack described in DESIGN.md.
+func NewDevice(cfg Config) *Device {
+	pcfg := platter.DefaultConfig(cfg.DiskCapacity)
+	if s := cfg.DeviceTimeScale; s > 0 {
+		pcfg.SeekTime = time.Duration(float64(pcfg.SeekTime) * s)
+		pcfg.SettleTime = time.Duration(float64(pcfg.SettleTime) * s)
+		pcfg.RotationalLatency = time.Duration(float64(pcfg.RotationalLatency) * s)
+	}
+	disk := platter.New(pcfg)
+	dev := &Device{Disk: disk}
+	switch cfg.Mode {
+	case ModeLevelDB:
+		drive := smr.NewFixedBand(disk, cfg.BandSize)
+		dev.Drive = drive
+		dev.ExtFS = extfs.New(drive.Capacity())
+		dev.Backend = storage.NewBackend(drive, dev.ExtFS)
+	case ModeLevelDBSets:
+		drive := smr.NewFixedBand(disk, cfg.BandSize)
+		dev.Drive = drive
+		dev.ExtFS = extfs.New(drive.Capacity()).EnableGroups()
+		dev.Backend = storage.NewBackend(drive, dev.ExtFS)
+	case ModeSMRDB:
+		drive := smr.NewFixedBand(disk, cfg.BandSize)
+		dev.Drive = drive
+		dev.Backend = storage.NewBackend(drive, storage.NewBandAllocator(drive))
+	case ModeSEALDB:
+		drive := smr.NewRaw(disk, cfg.GuardSize)
+		dev.Drive = drive
+		dev.DBand = dband.New(cfg.DiskCapacity, cfg.SSTableSize, cfg.GuardSize)
+		dev.Backend = storage.NewBackend(drive, storage.NewDynamicBandAllocator(dev.DBand))
+	default:
+		panic(fmt.Sprintf("lsm: unknown mode %v", cfg.Mode))
+	}
+	return dev
+}
+
+// DB is the key-value engine. The public wrapper package sealdb
+// re-exports it; see the package comment for the modes.
+//
+// Concurrency model: one big mutex, LevelDB style, with flushes and
+// compactions running synchronously on the writer's goroutine. The
+// experiments measure simulated device time, which is unaffected by
+// host threading.
+type DB struct {
+	cfg Config
+	dev *Device
+
+	disk    *platter.Disk
+	drive   smr.Drive
+	backend *storage.Backend
+	cache   *sstable.Cache
+	vs      *version.Set
+
+	mu        sync.Mutex
+	tableLRU  []uint64 // open-table recency, most recent last
+	mem       *memtable.MemTable
+	walW      *wal.Writer
+	walFile   *storage.AppendFile
+	walLimit  int64
+	walNum    uint64
+	seq       kv.SeqNum
+	memSeed   int64
+	tables    map[uint64]*sstable.Table
+	sets      *setRegistry
+	snapshots map[kv.SeqNum]int
+	stats     Stats
+	compID    int
+	closed    bool
+}
+
+// Open creates a fresh database on a new emulated device.
+func Open(cfg Config) (*DB, error) {
+	cfg.applyMode()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return OpenDevice(cfg, NewDevice(cfg))
+}
+
+// OpenDevice opens (or reopens) a database on an existing device.
+// If the device holds a previous instance's state, it is recovered:
+// the MANIFEST replays the file layout and the WAL replays the
+// mutations that had not reached an SSTable.
+func OpenDevice(cfg Config, dev *Device) (*DB, error) {
+	cfg.applyMode()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &DB{
+		cfg:       cfg,
+		dev:       dev,
+		disk:      dev.Disk,
+		drive:     dev.Drive,
+		backend:   dev.Backend,
+		cache:     sstable.NewCache(cfg.BlockCacheSize),
+		tables:    map[uint64]*sstable.Table{},
+		sets:      newSetRegistry(),
+		snapshots: map[kv.SeqNum]int{},
+		memSeed:   cfg.Seed,
+	}
+	d.mem = memtable.New(d.nextMemSeed())
+
+	vcfg := version.Config{
+		Backend:      d.backend,
+		ManifestSize: cfg.ManifestSize,
+		SortedLevel:  cfg.sortedLevel,
+	}
+	if _, err := d.backend.FileSize(version.CurrentFileNum); err == nil {
+		vs, err := version.Recover(vcfg)
+		if err != nil {
+			return nil, err
+		}
+		d.vs = vs
+		d.seq = vs.LastSeq()
+		if err := d.recoverSetsAndWAL(); err != nil {
+			return nil, err
+		}
+	} else {
+		vs, err := version.Create(vcfg)
+		if err != nil {
+			return nil, err
+		}
+		d.vs = vs
+	}
+	if err := d.newWAL(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *DB) nextMemSeed() int64 {
+	d.memSeed++
+	return d.memSeed
+}
+
+// Mode returns the engine's mode.
+func (d *DB) Mode() Mode { return d.cfg.Mode }
+
+// Config returns the configuration the DB was opened with.
+func (d *DB) Config() Config { return d.cfg }
+
+// Device returns the drive stack, for experiments that inspect
+// placement, amplification and timing.
+func (d *DB) Device() *Device { return d.dev }
+
+// Seq returns the last assigned sequence number.
+func (d *DB) Seq() kv.SeqNum {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// recoverSetsAndWAL rebuilds the set registry and replays the WAL.
+func (d *DB) recoverSetsAndWAL() error {
+	orphans := d.sets.rebuild(d.vs.Sets(), d.vs.Current())
+	if len(orphans) > 0 {
+		// Sets that lost their last member without being dropped
+		// (crash window): log the drops, then free the extents.
+		e := &version.Edit{}
+		for _, rec := range orphans {
+			e.DropSets = append(e.DropSets, rec.ID)
+		}
+		if err := d.vs.LogAndApply(e); err != nil {
+			return err
+		}
+		for _, rec := range orphans {
+			if err := d.backend.FreeExtent(storage.Extent{Off: rec.Off, Len: rec.Len}); err != nil {
+				return err
+			}
+		}
+	}
+
+	logNum := d.vs.LogNum()
+	if logNum == 0 {
+		return nil
+	}
+	size, err := d.backend.FileSize(logNum)
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil // already flushed and removed
+		}
+		return err
+	}
+	buf := make([]byte, size)
+	if _, err := d.backend.ReadFileAt(logNum, buf, 0); err != nil && err != io.EOF {
+		return err
+	}
+	r := wal.NewReader(&sliceReader{b: buf})
+	replayed := 0
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("lsm: WAL replay: %w", err)
+		}
+		last, n, err := decodeBatch(rec, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
+			d.mem.Add(seq, kind, key, value)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("lsm: WAL replay: %w", err)
+		}
+		replayed += n
+		if last > d.seq {
+			d.seq = last
+		}
+	}
+	// Persist the replayed mutations as an L0 table so the old WAL
+	// can be dropped, as LevelDB recovery does.
+	if !d.mem.Empty() {
+		if err := d.flushMemtable(d.mem, 0); err != nil {
+			return err
+		}
+		d.mem = memtable.New(d.nextMemSeed())
+	}
+	d.backend.Remove(logNum)
+	return nil
+}
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// newWAL starts a fresh write-ahead log and records its number in the
+// MANIFEST (so recovery knows which log to replay).
+func (d *DB) newWAL() error {
+	num := d.vs.NewFileNum()
+	f, err := d.backend.CreateAppend(num, d.cfg.walSize())
+	if err != nil {
+		return err
+	}
+	old := d.walNum
+	d.walNum = num
+	d.walFile = f
+	d.walLimit = d.cfg.walSize()
+	d.walW = wal.NewWriter(f)
+	if err := d.vs.LogAndApply(&version.Edit{HasLogNum: true, LogNum: num, HasLastSeq: true, LastSeq: d.seq}); err != nil {
+		return err
+	}
+	if old != 0 {
+		d.backend.Remove(old)
+	}
+	return nil
+}
+
+// Close shuts the database down. Buffered writes stay in the WAL on
+// the device and are recovered by the next OpenDevice.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	d.tables = map[uint64]*sstable.Table{}
+	return nil
+}
+
+// maxOpenTables returns the table-reader cache bound.
+func (d *DB) maxOpenTables() int {
+	if n := d.cfg.MaxOpenTables; n > 0 {
+		return n
+	}
+	return 1000
+}
+
+// openTable returns (opening if needed) the reader for a table file,
+// tracking recency and evicting the least recently used reader when
+// the cache exceeds its bound. Caller holds d.mu.
+func (d *DB) openTable(f *version.FileMeta) (*sstable.Table, error) {
+	if t, ok := d.tables[f.Num]; ok {
+		d.touchTable(f.Num)
+		return t, nil
+	}
+	size, err := d.backend.FileSize(f.Num)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: opening table %d: %w", f.Num, err)
+	}
+	t, err := sstable.Open(d.backend.Handle(f.Num), size, f.Num, d.cache)
+	if err != nil {
+		return nil, err
+	}
+	d.tables[f.Num] = t
+	d.tableLRU = append(d.tableLRU, f.Num)
+	for len(d.tables) > d.maxOpenTables() && len(d.tableLRU) > 0 {
+		victim := d.tableLRU[0]
+		d.tableLRU = d.tableLRU[1:]
+		if victim == f.Num {
+			d.tableLRU = append(d.tableLRU, victim)
+			continue
+		}
+		delete(d.tables, victim)
+	}
+	return t, nil
+}
+
+// touchTable moves a table to the recent end of the LRU order.
+// Caller holds d.mu. Linear, but the list is bounded and short.
+func (d *DB) touchTable(num uint64) {
+	for i, n := range d.tableLRU {
+		if n == num {
+			copy(d.tableLRU[i:], d.tableLRU[i+1:])
+			d.tableLRU[len(d.tableLRU)-1] = num
+			return
+		}
+	}
+}
+
+// dropTable forgets a deleted file's reader and cached blocks.
+// Caller holds d.mu.
+func (d *DB) dropTable(num uint64) {
+	if _, ok := d.tables[num]; ok {
+		delete(d.tables, num)
+		for i, n := range d.tableLRU {
+			if n == num {
+				d.tableLRU = append(d.tableLRU[:i], d.tableLRU[i+1:]...)
+				break
+			}
+		}
+	}
+	d.cache.EvictFile(num)
+}

@@ -1,0 +1,174 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sealdb/internal/smr"
+	"sealdb/internal/storage"
+)
+
+// flakyDrive wraps a drive and fails writes once armed.
+type flakyDrive struct {
+	smr.Drive
+	failAfter atomic.Int64 // remaining successful writes; negative = unarmed
+}
+
+var errInjected = errors.New("injected device failure")
+
+func (f *flakyDrive) WriteAt(p []byte, off int64) (time.Duration, error) {
+	if n := f.failAfter.Load(); n >= 0 {
+		if n == 0 {
+			return 0, errInjected
+		}
+		f.failAfter.Add(-1)
+	}
+	return f.Drive.WriteAt(p, off)
+}
+
+// newFlakyDB builds a SEALDB store whose drive can be armed to fail.
+func newFlakyDB(t *testing.T) (*DB, *flakyDrive) {
+	t.Helper()
+	cfg := tinyConfig(ModeSEALDB)
+	dev := NewDevice(cfg)
+	fd := &flakyDrive{Drive: dev.Drive}
+	fd.failAfter.Store(-1)
+	// Rebuild the backend over the flaky drive with the same dynamic
+	// band allocator so placement behaviour is unchanged.
+	dev.Backend = storage.NewBackend(fd, storage.NewDynamicBandAllocator(dev.DBand))
+	dev.Drive = fd
+	d, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fd
+}
+
+// TestWriteFailureSurfacesAndStoreStaysReadable: a device failure
+// mid-operation must return an error to the caller while previously
+// acknowledged data stays readable.
+func TestWriteFailureSurfacesAndStoreStaysReadable(t *testing.T) {
+	d, fd := newFlakyDB(t)
+	defer d.Close()
+	ref := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("pre%05d", i), fmt.Sprintf("v%d", i)
+		if err := d.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = v
+	}
+
+	// Arm the failure and hammer writes until it fires.
+	fd.failAfter.Store(20)
+	var sawErr bool
+	for i := 0; i < 5000 && !sawErr; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("post%05d", i)), []byte("x")); err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected failure never surfaced")
+	}
+	fd.failAfter.Store(-1) // heal
+
+	// Everything acknowledged before the failure is still there.
+	for k, v := range ref {
+		got, err := d.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%q) after failure = (%q, %v)", k, got, err)
+		}
+	}
+}
+
+// TestTornWALRecovered: garbage at the tail of the live WAL (a torn
+// final write) must not prevent recovery of the intact prefix.
+func TestTornWALRecovered(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few durable (flushed) writes plus some WAL-only writes.
+	ref := loadRandom(t, d, 1500, 31)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("walonly%03d", i)
+		d.Put([]byte(k), []byte("keep"))
+		ref[k] = "keep"
+	}
+	// Locate the live WAL on the device and smash bytes beyond its
+	// current logical end — a torn append that never completed.
+	ext, err := d.backend.FileExtent(d.walNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := d.walFile.Size()
+	dev := d.Device()
+	d.Close()
+
+	if logical+64 < ext.Len {
+		garbage := []byte("GARBAGEGARBAGEGARBAGE")
+		// Write through the platter directly: at the device level this
+		// region was already damaged-by-shingling anyway.
+		if _, err := dev.Disk.WriteAt(garbage, ext.Off+logical+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatalf("recovery with torn WAL tail failed: %v", err)
+	}
+	defer d2.Close()
+	verifyAll(t, d2, ref)
+}
+
+// TestRecoveryIdempotent: opening and closing repeatedly without
+// writes must not lose or duplicate anything.
+func TestRecoveryIdempotent(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	d, _ := Open(cfg)
+	ref := loadRandom(t, d, 2000, 37)
+	dev := d.Device()
+	d.Close()
+	for i := 0; i < 5; i++ {
+		d2, err := OpenDevice(cfg, dev)
+		if err != nil {
+			t.Fatalf("reopen %d: %v", i, err)
+		}
+		verifyAll(t, d2, ref)
+		if err := d2.VerifyIntegrity(); err != nil {
+			t.Fatalf("reopen %d: %v", i, err)
+		}
+		d2.Close()
+	}
+}
+
+// TestOpenRejectsBadGeometry covers configuration validation.
+func TestOpenRejectsBadGeometry(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SSTableSize = 0 },
+		func(c *Config) { c.BandSize = -1 },
+		func(c *Config) { c.MemtableSize = 0 },
+		func(c *Config) { c.GuardSize = -1 },
+		func(c *Config) { c.L0CompactTrigger = 0 },
+		func(c *Config) { c.LevelMultiplier = 1 },
+		func(c *Config) { c.NumLevels = 1 },
+		func(c *Config) { c.NumLevels = 9 },
+		func(c *Config) { c.DiskCapacity = 0 },
+		func(c *Config) { c.DeviceTimeScale = -2 },
+	}
+	for i, mutate := range bad {
+		cfg := tinyConfig(ModeSEALDB)
+		mutate(&cfg)
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

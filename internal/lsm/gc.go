@@ -1,0 +1,183 @@
+package lsm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sealdb/internal/storage"
+	"sealdb/internal/version"
+)
+
+// GCResult reports one DefragmentBands pass.
+type GCResult struct {
+	// SetsMoved is how many sets were relocated.
+	SetsMoved int
+	// BytesMoved is the live data rewritten to move them.
+	BytesMoved int64
+	// FragmentsBefore and FragmentsAfter are the unusable free bytes
+	// (free regions too small to serve any insert) before and after.
+	FragmentsBefore int64
+	FragmentsAfter  int64
+}
+
+// DefragmentBands is the garbage-collection supplement the paper's
+// §IV-C leaves as future work: small free fragments — regions that
+// cannot hold even one SSTable plus a guard — are reclaimed by
+// relocating the set downstream of each fragment to fresh space, so
+// the fragment coalesces with the freed set extent into a usable
+// region (or folds into the append frontier).
+//
+// The pass is explicit (call it from a maintenance window); each
+// relocation costs one sequential read and one sequential write of
+// the set's live members. maxMoves bounds the pass; <= 0 means no
+// bound. Only meaningful in ModeSEALDB.
+func (d *DB) DefragmentBands(maxMoves int) (GCResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var res GCResult
+	if d.closed {
+		return res, ErrClosed
+	}
+	mgr := d.dev.DBand
+	if mgr == nil {
+		return res, fmt.Errorf("lsm: DefragmentBands requires dynamic bands (mode %v)", d.cfg.Mode)
+	}
+	// A fragment is a free region that cannot serve the smallest
+	// useful insert: one SSTable plus its guard (Equation 1).
+	threshold := d.cfg.SSTableSize + d.cfg.GuardSize
+	res.FragmentsBefore = mgr.FragmentBytes(threshold)
+
+	// Index live sets by their extent start, and member files by set.
+	records := d.vs.Sets()
+	byOff := map[int64]version.SetRecord{}
+	for _, rec := range records {
+		byOff[rec.Off] = rec
+	}
+	members := map[uint64][]*version.FileMeta{}
+	levels := map[uint64]map[uint64]int{} // set -> file num -> level
+	v := d.vs.Current()
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		for _, f := range v.Files[l] {
+			if f.SetID == 0 {
+				continue
+			}
+			members[f.SetID] = append(members[f.SetID], f)
+			if levels[f.SetID] == nil {
+				levels[f.SetID] = map[uint64]int{}
+			}
+			levels[f.SetID][f.Num] = l
+		}
+	}
+
+	// Walk the fragments in address order and relocate each one's
+	// downstream set. The free list changes as we go, so collect the
+	// victims first.
+	type victim struct {
+		rec version.SetRecord
+	}
+	var victims []victim
+	seen := map[uint64]bool{}
+	for _, fr := range mgr.FreeRegions() {
+		if fr.Len >= threshold {
+			continue
+		}
+		rec, ok := byOff[fr.End()]
+		if !ok || seen[rec.ID] {
+			continue // neighbour is an ungrouped file or already queued
+		}
+		seen[rec.ID] = true
+		victims = append(victims, victim{rec: rec})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].rec.Off < victims[j].rec.Off })
+
+	for _, vic := range victims {
+		if maxMoves > 0 && res.SetsMoved >= maxMoves {
+			break
+		}
+		moved, err := d.relocateSet(vic.rec, members[vic.rec.ID], levels[vic.rec.ID])
+		if err != nil {
+			return res, err
+		}
+		res.SetsMoved++
+		res.BytesMoved += moved
+	}
+	res.FragmentsAfter = mgr.FragmentBytes(threshold)
+	return res, nil
+}
+
+// relocateSet rewrites a set's live members into a fresh contiguous
+// extent and frees the old one, letting the adjacent fragment
+// coalesce. Caller holds d.mu.
+func (d *DB) relocateSet(rec version.SetRecord, files []*version.FileMeta, levelOf map[uint64]int) (int64, error) {
+	if len(files) == 0 {
+		return 0, fmt.Errorf("lsm: relocating set %d with no live members", rec.ID)
+	}
+	// Read the members in physical order (one sequential pass over
+	// the old extent).
+	sorted := append([]*version.FileMeta(nil), files...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ei, _ := d.backend.FileExtent(sorted[i].Num)
+		ej, _ := d.backend.FileExtent(sorted[j].Num)
+		return ei.Off < ej.Off
+	})
+	nums := make([]uint64, len(sorted))
+	datas := make([][]byte, len(sorted))
+	var moved int64
+	for i, f := range sorted {
+		size, err := d.backend.FileSize(f.Num)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, size)
+		if _, err := d.backend.ReadFileAt(f.Num, buf, 0); err != nil && err != io.EOF {
+			return 0, err
+		}
+		nums[i] = f.Num
+		datas[i] = buf
+		moved += size
+	}
+
+	// Drop the old placements (grouped: mapping only), then write the
+	// group to fresh space and install the new set record.
+	for _, f := range sorted {
+		d.sets.fileInvalid(f.Num)
+		d.dropTable(f.Num)
+		if err := d.backend.Remove(f.Num); err != nil {
+			return 0, err
+		}
+	}
+	ext, grouped, err := d.backend.WriteGroup(nums, datas)
+	if err != nil {
+		return 0, err
+	}
+	if !grouped {
+		return 0, fmt.Errorf("lsm: relocation backend refused group placement")
+	}
+	newID := d.vs.NewFileNum()
+	newRec := version.SetRecord{ID: newID, Off: ext.Off, Len: ext.Len, Members: len(nums)}
+	d.sets.register(newRec, nums)
+
+	// One atomic edit: retire the old set, introduce the new one, and
+	// repoint every member's SetID.
+	edit := &version.Edit{
+		DropSets: []uint64{rec.ID},
+		NewSets:  []version.SetRecord{newRec},
+	}
+	for _, f := range sorted {
+		nf := *f
+		nf.SetID = newID
+		lvl := levelOf[f.Num]
+		edit.Deleted = append(edit.Deleted, version.DeletedFile{Level: lvl, Num: f.Num})
+		edit.Added = append(edit.Added, version.AddedFile{Level: lvl, Meta: &nf})
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		return 0, err
+	}
+	if err := d.backend.FreeExtent(storage.Extent{Off: rec.Off, Len: rec.Len}); err != nil {
+		return 0, err
+	}
+	d.stats.GCMoves++
+	d.stats.GCBytes += moved
+	return moved, nil
+}

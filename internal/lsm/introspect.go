@@ -1,0 +1,236 @@
+package lsm
+
+import (
+	"fmt"
+
+	"sealdb/internal/kv"
+	"sealdb/internal/version"
+)
+
+// LevelInfo describes one level of the tree.
+type LevelInfo struct {
+	Level int
+	Files int
+	Bytes int64
+	// Target is the level's size limit (0 for level 0 and the last
+	// level, which are bounded by file count and nothing).
+	Target int64
+}
+
+// LevelProfile returns the current shape of the tree, shallowest
+// level first.
+func (d *DB) LevelProfile() []LevelInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vs.Current()
+	out := make([]LevelInfo, d.cfg.NumLevels)
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		out[l] = LevelInfo{Level: l, Files: v.NumFiles(l), Bytes: v.LevelBytes(l)}
+		if l > 0 && l < d.cfg.NumLevels-1 {
+			out[l].Target = d.cfg.maxBytesForLevel(l)
+		}
+	}
+	return out
+}
+
+// SetProfile summarizes the set registry: live sets, their members,
+// and the invalid-member backlog the set-priority GC works through.
+type SetProfile struct {
+	LiveSets       int
+	LiveMembers    int
+	TotalMembers   int
+	InvalidMembers int
+}
+
+// SetProfile returns the registry summary (meaningful in the grouped
+// modes; zero-valued otherwise).
+func (d *DB) SetProfile() SetProfile {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live, total := d.sets.memberStats()
+	return SetProfile{
+		LiveSets:       d.sets.liveSets(),
+		LiveMembers:    live,
+		TotalMembers:   total,
+		InvalidMembers: total - live,
+	}
+}
+
+// ApproximateSize returns the table bytes whose key ranges intersect
+// [lo, hi] (nil = unbounded), LevelDB's GetApproximateSizes. It is an
+// upper estimate: a file partially in range counts fully.
+func (d *DB) ApproximateSize(lo, hi []byte) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vs.Current()
+	var total int64
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		for _, f := range v.Overlaps(l, lo, hi, d.cfg.sortedLevel(l)) {
+			total += f.Size
+		}
+	}
+	return total
+}
+
+// CompactRange compacts every file whose user-key range intersects
+// [lo, hi] down the tree until none of those levels exceed their
+// targets and the range has reached the deepest populated level.
+// Nil bounds mean unbounded. This is LevelDB's manual compaction,
+// useful to settle a store before read benchmarks.
+func (d *DB) CompactRange(lo, hi []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if !d.mem.Empty() {
+		if err := d.rotateAndFlush(d.cfg.walSize()); err != nil {
+			return err
+		}
+	}
+	for level := 0; level < d.cfg.NumLevels-1; level++ {
+		for {
+			v := d.vs.Current()
+			files := v.Overlaps(level, lo, hi, d.cfg.sortedLevel(level))
+			if len(files) == 0 {
+				break
+			}
+			c := &compaction{level: level, outLevel: level + 1}
+			c.inputs0 = files
+			if level == 0 {
+				// Grow to the L0 overlap fixpoint as pickCompaction does.
+				smallest, largest := keyRange(c.inputs0)
+				for {
+					grown := v.Overlaps(0, smallest, largest, false)
+					if len(grown) == len(c.inputs0) {
+						break
+					}
+					c.inputs0 = grown
+					smallest, largest = keyRange(grown)
+				}
+			}
+			rlo, rhi := keyRange(c.inputs0)
+			c.inputs1 = v.Overlaps(c.outLevel, rlo, rhi, d.cfg.sortedLevel(c.outLevel))
+			if d.cfg.Mode == ModeSMRDB && len(c.inputs1) > d.cfg.MaxCompactionFiles {
+				c.inputs1 = c.inputs1[:d.cfg.MaxCompactionFiles]
+			}
+			if len(c.inputs0) == 1 && len(c.inputs1) == 0 {
+				c.trivial = true
+			}
+			if err := d.runCompaction(c); err != nil {
+				return err
+			}
+			if c.trivial {
+				continue // the file moved down; the next loop sees it there
+			}
+			break
+		}
+	}
+	return d.compactUntilBalanced()
+}
+
+// VerifyIntegrity walks the whole store and checks every invariant it
+// can reach: table checksums and ordering, version metadata against
+// table contents, set records against file placements, and (in
+// SEALDB mode) dynamic-band space accounting against the drive's
+// valid-extent map. It is the repository's fsck, used by tests and
+// the CLI.
+func (d *DB) VerifyIntegrity() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	v := d.vs.Current()
+	if err := v.CheckInvariants(d.cfg.sortedLevel); err != nil {
+		return fmt.Errorf("version: %w", err)
+	}
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		for _, f := range v.Files[l] {
+			if err := d.verifyTable(l, f); err != nil {
+				return err
+			}
+		}
+	}
+	return d.verifySets(v)
+}
+
+// verifyTable scans one table, checking block CRCs (implicitly),
+// internal ordering, and the metadata bounds. Caller holds d.mu.
+func (d *DB) verifyTable(level int, f *version.FileMeta) error {
+	t, err := d.openTable(f)
+	if err != nil {
+		return fmt.Errorf("L%d %s: %w", level, f, err)
+	}
+	it := t.NewIterator()
+	var prev kv.InternalKey
+	entries := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		ik := it.Key()
+		if prev != nil && kv.CompareInternal(prev, ik) >= 0 {
+			return fmt.Errorf("L%d %s: keys out of order at entry %d", level, f, entries)
+		}
+		if entries == 0 && kv.CompareInternal(ik, f.Smallest) != 0 {
+			return fmt.Errorf("L%d %s: first key %s != smallest %s", level, f, ik, f.Smallest)
+		}
+		prev = append(prev[:0], ik...)
+		entries++
+	}
+	if err := it.Error(); err != nil {
+		return fmt.Errorf("L%d %s: %w", level, f, err)
+	}
+	if entries == 0 {
+		return fmt.Errorf("L%d %s: empty table", level, f)
+	}
+	if kv.CompareInternal(prev, f.Largest) != 0 {
+		return fmt.Errorf("L%d %s: last key %s != largest %s", level, f, prev, f.Largest)
+	}
+	return nil
+}
+
+// verifySets cross-checks the set registry, the manifest's set
+// records, file placements, and the device state. Caller holds d.mu.
+func (d *DB) verifySets(v *version.Version) error {
+	records := d.vs.Sets()
+	liveBysSet := map[uint64]int{}
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		for _, f := range v.Files[l] {
+			if f.SetID == 0 {
+				continue
+			}
+			rec, ok := records[f.SetID]
+			if !ok {
+				return fmt.Errorf("set %d referenced by %s has no manifest record", f.SetID, f)
+			}
+			ext, err := d.backend.FileExtent(f.Num)
+			if err != nil {
+				return fmt.Errorf("set %d member %s: %w", f.SetID, f, err)
+			}
+			if ext.Off < rec.Off || ext.End() > rec.Off+rec.Len {
+				return fmt.Errorf("set %d member %s extent %v outside set extent [%d,%d)",
+					f.SetID, f, ext, rec.Off, rec.Off+rec.Len)
+			}
+			liveBysSet[f.SetID]++
+		}
+	}
+	for id, rec := range records {
+		if liveBysSet[id] == 0 {
+			return fmt.Errorf("set %d (members %d) has a record but no live members", id, rec.Members)
+		}
+		if liveBysSet[id] > rec.Members {
+			return fmt.Errorf("set %d has %d live members > recorded total %d", id, liveBysSet[id], rec.Members)
+		}
+	}
+
+	// Dynamic-band accounting: allocator state must reconcile with
+	// the raw drive's validity map.
+	if mgr := d.dev.DBand; mgr != nil {
+		if raw, ok := d.drive.(interface{ ValidBytes() int64 }); ok {
+			valid := raw.ValidBytes()
+			if alloc := mgr.AllocatedBytes(); valid > alloc {
+				return fmt.Errorf("drive holds %d valid bytes but allocator accounts only %d", valid, alloc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLevelProfile(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	loadRandom(t, d, 5000, 3)
+	profile := d.LevelProfile()
+	if len(profile) != d.cfg.NumLevels {
+		t.Fatalf("profile has %d levels", len(profile))
+	}
+	var files int
+	for _, li := range profile {
+		files += li.Files
+		if li.Files > 0 && li.Bytes == 0 {
+			t.Errorf("L%d has %d files but zero bytes", li.Level, li.Files)
+		}
+		if li.Level > 0 && li.Level < d.cfg.NumLevels-1 && li.Target == 0 {
+			t.Errorf("L%d has no target", li.Level)
+		}
+	}
+	if files == 0 {
+		t.Error("no files in profile after load")
+	}
+}
+
+func TestSetProfile(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	loadRandom(t, d, 8000, 5)
+	sp := d.SetProfile()
+	if sp.LiveSets == 0 || sp.LiveMembers == 0 {
+		t.Fatalf("no sets after deep load: %+v", sp)
+	}
+	if sp.LiveMembers > sp.TotalMembers {
+		t.Errorf("live %d > total %d", sp.LiveMembers, sp.TotalMembers)
+	}
+	if sp.InvalidMembers != sp.TotalMembers-sp.LiveMembers {
+		t.Errorf("invalid accounting wrong: %+v", sp)
+	}
+}
+
+func TestCompactRange(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			ref := loadRandom(t, d, 4000, 7)
+			if err := d.CompactRange(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			// Everything readable, L0 empty (all pushed down), and for
+			// leveled modes nothing in shallow levels above base data.
+			verifyAll(t, d, ref)
+			if n := d.vs.Current().NumFiles(0); n != 0 {
+				t.Errorf("L0 still holds %d files after CompactRange", n)
+			}
+			if err := d.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCompactRangePartial(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	ref := loadRandom(t, d, 4000, 9)
+	// Compact only a sub-range; the store must stay correct.
+	if err := d.CompactRange([]byte("key0001000"), []byte("key0002000")); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, d, ref)
+}
+
+func TestVerifyIntegrityAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			loadRandom(t, d, 5000, 11)
+			if err := d.VerifyIntegrity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifyIntegrityAfterRecovery(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	d, _ := Open(cfg)
+	loadRandom(t, d, 5000, 13)
+	dev := d.Device()
+	d.Close()
+	d2, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefragmentBands(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Heavy churn produces dead sets and fragments.
+	ref := loadRandom(t, d, 12000, 17)
+
+	before := d.Device().DBand.FragmentBytes(cfg.SSTableSize + cfg.GuardSize)
+	res, err := d.DefragmentBands(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FragmentsBefore != before {
+		t.Errorf("FragmentsBefore %d != measured %d", res.FragmentsBefore, before)
+	}
+	if res.SetsMoved > 0 {
+		if res.BytesMoved == 0 {
+			t.Error("sets moved but no bytes accounted")
+		}
+		if res.FragmentsAfter >= res.FragmentsBefore {
+			t.Errorf("fragments did not shrink: %d -> %d", res.FragmentsBefore, res.FragmentsAfter)
+		}
+	}
+	// Correctness after relocation: all data readable, integrity
+	// holds, and the drive never saw an illegal write (AWA still 1).
+	verifyAll(t, d, ref)
+	if err := d.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if amp := d.Amplification(); amp.AWA != 1.0 {
+		t.Errorf("AWA %v after GC", amp.AWA)
+	}
+	if st := d.Stats(); st.GCMoves != int64(res.SetsMoved) {
+		t.Errorf("stats GCMoves %d != result %d", st.GCMoves, res.SetsMoved)
+	}
+
+	// The store keeps working and recovering after a GC pass.
+	loadRandomInto(t, d, 2000, 18, ref)
+	verifyAll(t, d, ref)
+	dev := d.Device()
+	d.Close()
+	d2, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	verifyAll(t, d2, ref)
+	if err := d2.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefragmentBandsWrongMode(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeLevelDB))
+	defer d.Close()
+	if _, err := d.DefragmentBands(0); err == nil {
+		t.Error("DefragmentBands accepted on a fixed-band store")
+	}
+}
+
+func TestDefragmentBandsMaxMoves(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	loadRandom(t, d, 12000, 19)
+	res, err := d.DefragmentBands(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetsMoved > 1 {
+		t.Errorf("maxMoves=1 but moved %d sets", res.SetsMoved)
+	}
+}
+
+func TestCompactRangeOnEmptyStore(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	if err := d.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleDB_LevelProfile() {
+	d, _ := Open(DefaultConfig(ModeSEALDB))
+	defer d.Close()
+	for i := 0; i < 100; i++ {
+		d.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	p := d.LevelProfile()
+	fmt.Println(len(p), "levels")
+	// Output: 7 levels
+}
+
+func TestTableCacheBounded(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	cfg.MaxOpenTables = 8
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ref := loadRandom(t, d, 6000, 303)
+	// Reads across the whole keyspace churn the table cache.
+	verifyAll(t, d, ref)
+	if n := len(d.tables); n > 8+1 {
+		t.Errorf("table cache holds %d readers, bound 8", n)
+	}
+	if len(d.tableLRU) != len(d.tables) {
+		t.Errorf("LRU list %d entries vs %d tables", len(d.tableLRU), len(d.tables))
+	}
+	// Everything still readable after heavy eviction (readers reopen).
+	verifyAll(t, d, ref)
+	if err := d.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}

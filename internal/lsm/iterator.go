@@ -1,0 +1,579 @@
+package lsm
+
+import (
+	"sealdb/internal/kv"
+	"sealdb/internal/version"
+)
+
+// mergingIter merges child iterators in internal-key order. With the
+// engine's fan-ins (a handful of memtables and tables) a linear
+// minimum scan is simpler than a heap and fast enough.
+type mergingIter struct {
+	children []kv.Iterator
+	cur      int // index of the child holding the current key; -1 if none
+	dir      int
+	err      error
+}
+
+func newMergingIter(children ...kv.Iterator) *mergingIter {
+	return &mergingIter{children: children, cur: -1}
+}
+
+// direction of the last movement; children are positioned at their
+// next candidate in that direction.
+const (
+	dirForward = iota
+	dirBackward
+)
+
+func (m *mergingIter) findSmallest() {
+	m.cur = -1
+	for i, c := range m.children {
+		if err := c.Error(); err != nil {
+			m.err = err
+			m.cur = -1
+			return
+		}
+		if !c.Valid() {
+			continue
+		}
+		if m.cur < 0 || kv.CompareInternal(c.Key(), m.children[m.cur].Key()) < 0 {
+			m.cur = i
+		}
+	}
+}
+
+func (m *mergingIter) findLargest() {
+	m.cur = -1
+	for i, c := range m.children {
+		if err := c.Error(); err != nil {
+			m.err = err
+			m.cur = -1
+			return
+		}
+		if !c.Valid() {
+			continue
+		}
+		if m.cur < 0 || kv.CompareInternal(c.Key(), m.children[m.cur].Key()) > 0 {
+			m.cur = i
+		}
+	}
+}
+
+func (m *mergingIter) Valid() bool { return m.err == nil && m.cur >= 0 }
+func (m *mergingIter) Error() error {
+	if m.err != nil {
+		return m.err
+	}
+	for _, c := range m.children {
+		if err := c.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *mergingIter) SeekToFirst() {
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.dir = dirForward
+	m.findSmallest()
+}
+
+func (m *mergingIter) SeekToLast() {
+	for _, c := range m.children {
+		c.SeekToLast()
+	}
+	m.dir = dirBackward
+	m.findLargest()
+}
+
+func (m *mergingIter) Seek(target kv.InternalKey) {
+	for _, c := range m.children {
+		c.Seek(target)
+	}
+	m.dir = dirForward
+	m.findSmallest()
+}
+
+func (m *mergingIter) Next() {
+	if m.dir != dirForward {
+		// The other children sit at their predecessor candidates;
+		// re-point them past the current key (LevelDB's direction
+		// switch).
+		key := m.children[m.cur].Key().Clone()
+		for i, c := range m.children {
+			if i == m.cur {
+				continue
+			}
+			c.Seek(key)
+			if c.Valid() && kv.CompareInternal(c.Key(), key) == 0 {
+				c.Next()
+			}
+		}
+		m.dir = dirForward
+	}
+	m.children[m.cur].Next()
+	m.findSmallest()
+}
+
+func (m *mergingIter) Prev() {
+	if m.dir != dirBackward {
+		// The other children sit at their successor candidates; move
+		// each to the entry strictly before the current key.
+		key := m.children[m.cur].Key().Clone()
+		for i, c := range m.children {
+			if i == m.cur {
+				continue
+			}
+			c.Seek(key)
+			if c.Valid() {
+				c.Prev()
+			} else {
+				c.SeekToLast()
+			}
+		}
+		m.dir = dirBackward
+	}
+	m.children[m.cur].Prev()
+	m.findLargest()
+}
+
+func (m *mergingIter) Key() kv.InternalKey { return m.children[m.cur].Key() }
+func (m *mergingIter) Value() []byte       { return m.children[m.cur].Value() }
+
+var _ kv.Iterator = (*mergingIter)(nil)
+
+// concatIter iterates the files of a sorted, disjoint level in key
+// order, opening one table at a time.
+type concatIter struct {
+	d     *DB
+	files []*version.FileMeta
+	idx   int
+	cur   kv.Iterator
+	err   error
+}
+
+func (d *DB) newConcatIter(files []*version.FileMeta) *concatIter {
+	return &concatIter{d: d, files: files, idx: -1}
+}
+
+func (c *concatIter) openIdx() {
+	c.cur = nil
+	if c.idx < 0 || c.idx >= len(c.files) {
+		return
+	}
+	t, err := c.d.openTable(c.files[c.idx])
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.cur = t.NewIterator()
+}
+
+func (c *concatIter) Valid() bool { return c.err == nil && c.cur != nil && c.cur.Valid() }
+
+func (c *concatIter) Error() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.cur != nil {
+		return c.cur.Error()
+	}
+	return nil
+}
+
+func (c *concatIter) SeekToFirst() {
+	c.idx = 0
+	c.openIdx()
+	if c.cur != nil {
+		c.cur.SeekToFirst()
+	}
+	c.skipExhausted()
+}
+
+func (c *concatIter) Seek(target kv.InternalKey) {
+	// Binary search could be used; levels hold few files per query in
+	// the experiments, so a linear bound check keeps this simple.
+	c.idx = len(c.files)
+	for i, f := range c.files {
+		if kv.CompareInternal(target, f.Largest) <= 0 {
+			c.idx = i
+			break
+		}
+	}
+	c.openIdx()
+	if c.cur != nil {
+		c.cur.Seek(target)
+	}
+	c.skipExhausted()
+}
+
+func (c *concatIter) SeekToLast() {
+	c.idx = len(c.files) - 1
+	c.openIdx()
+	if c.cur != nil {
+		c.cur.SeekToLast()
+	}
+	c.skipExhaustedBackward()
+}
+
+func (c *concatIter) Next() {
+	c.cur.Next()
+	c.skipExhausted()
+}
+
+func (c *concatIter) Prev() {
+	c.cur.Prev()
+	c.skipExhaustedBackward()
+}
+
+func (c *concatIter) skipExhausted() {
+	for c.err == nil && (c.cur == nil || !c.cur.Valid()) {
+		if c.cur != nil && c.cur.Error() != nil {
+			c.err = c.cur.Error()
+			return
+		}
+		c.idx++
+		if c.idx >= len(c.files) {
+			c.cur = nil
+			return
+		}
+		c.openIdx()
+		if c.cur != nil {
+			c.cur.SeekToFirst()
+		}
+	}
+}
+
+func (c *concatIter) skipExhaustedBackward() {
+	for c.err == nil && (c.cur == nil || !c.cur.Valid()) {
+		if c.cur != nil && c.cur.Error() != nil {
+			c.err = c.cur.Error()
+			return
+		}
+		c.idx--
+		if c.idx < 0 {
+			c.cur = nil
+			return
+		}
+		c.openIdx()
+		if c.cur != nil {
+			c.cur.SeekToLast()
+		}
+	}
+}
+
+func (c *concatIter) Key() kv.InternalKey { return c.cur.Key() }
+func (c *concatIter) Value() []byte       { return c.cur.Value() }
+
+var _ kv.Iterator = (*concatIter)(nil)
+
+// Iterator is the user-facing forward iterator: it surfaces the
+// newest visible version of each live user key at its snapshot.
+type Iterator struct {
+	d    *DB
+	m    *mergingIter
+	seq  kv.SeqNum
+	key  []byte
+	val  []byte
+	ok   bool
+	err  error
+	snap *Snapshot // released on Close when the iterator owns it
+}
+
+// NewIterator returns an iterator over the current state. The
+// iterator holds an implicit snapshot until Close.
+func (d *DB) NewIterator() *Iterator {
+	snap := d.NewSnapshot()
+	it := d.NewSnapshotIterator(snap)
+	it.snap = snap
+	return it
+}
+
+// NewSnapshotIterator iterates the state as of snap. The caller keeps
+// ownership of the snapshot.
+func (d *DB) NewSnapshotIterator(snap *Snapshot) *Iterator {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	children := []kv.Iterator{d.mem.NewIterator()}
+	v := d.vs.Current()
+	for _, f := range v.Files[0] {
+		children = append(children, &lazyTableIter{d: d, f: f})
+	}
+	for level := 1; level < d.cfg.NumLevels; level++ {
+		if len(v.Files[level]) == 0 {
+			continue
+		}
+		if d.cfg.sortedLevel(level) {
+			children = append(children, d.newConcatIter(v.Files[level]))
+		} else {
+			for _, f := range v.Files[level] {
+				children = append(children, &lazyTableIter{d: d, f: f})
+			}
+		}
+	}
+	return &Iterator{d: d, m: newMergingIter(children...), seq: snap.seq}
+}
+
+// lazyTableIter defers opening a table until first use.
+type lazyTableIter struct {
+	d   *DB
+	f   *version.FileMeta
+	it  kv.Iterator
+	err error
+}
+
+func (l *lazyTableIter) open() bool {
+	if l.err != nil {
+		return false
+	}
+	if l.it == nil {
+		t, err := l.d.openTable(l.f)
+		if err != nil {
+			l.err = err
+			return false
+		}
+		l.it = t.NewIterator()
+	}
+	return true
+}
+
+func (l *lazyTableIter) Valid() bool { return l.err == nil && l.it != nil && l.it.Valid() }
+func (l *lazyTableIter) Error() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.it != nil {
+		return l.it.Error()
+	}
+	return nil
+}
+func (l *lazyTableIter) SeekToFirst() {
+	if l.open() {
+		l.it.SeekToFirst()
+	}
+}
+func (l *lazyTableIter) Seek(t kv.InternalKey) {
+	if l.open() {
+		l.it.Seek(t)
+	}
+}
+func (l *lazyTableIter) SeekToLast() {
+	if l.open() {
+		l.it.SeekToLast()
+	}
+}
+func (l *lazyTableIter) Next()               { l.it.Next() }
+func (l *lazyTableIter) Prev()               { l.it.Prev() }
+func (l *lazyTableIter) Key() kv.InternalKey { return l.it.Key() }
+func (l *lazyTableIter) Value() []byte       { return l.it.Value() }
+
+// SeekToFirst positions at the first live user key.
+func (it *Iterator) SeekToFirst() {
+	it.d.mu.Lock()
+	defer it.d.mu.Unlock()
+	it.m.SeekToFirst()
+	it.settle(nil)
+}
+
+// Seek positions at the first live user key >= target.
+func (it *Iterator) Seek(target []byte) {
+	it.d.mu.Lock()
+	defer it.d.mu.Unlock()
+	it.m.Seek(kv.MakeSearchKey(nil, target, it.seq))
+	it.settle(nil)
+}
+
+// SeekToLast positions at the largest live user key.
+func (it *Iterator) SeekToLast() {
+	it.d.mu.Lock()
+	defer it.d.mu.Unlock()
+	it.m.SeekToLast()
+	it.settleBackward(nil)
+}
+
+// Next advances to the next live user key.
+func (it *Iterator) Next() {
+	it.d.mu.Lock()
+	defer it.d.mu.Unlock()
+	if !it.ok {
+		return
+	}
+	if !it.m.Valid() {
+		// A preceding backward pass exhausted the merged stream while
+		// resolving the current key's run; recover by seeking to the
+		// last possible entry of the current user key (everything at
+		// or before it is skipped by settle's lower bound).
+		it.m.Seek(kv.MakeInternalKey(nil, it.key, 0, kv.KindDelete))
+	}
+	it.settle(it.key)
+}
+
+// Prev retreats to the previous live user key.
+func (it *Iterator) Prev() {
+	it.d.mu.Lock()
+	defer it.d.mu.Unlock()
+	if !it.ok {
+		return
+	}
+	it.settleBackward(it.key)
+}
+
+// settleBackward walks the merged stream backward to the newest
+// visible version of the largest live user key strictly below upper
+// (nil = unbounded). Backward order visits a user key's versions
+// oldest first, so each run is scanned to its end before being
+// resolved. Caller holds d.mu.
+func (it *Iterator) settleBackward(upper []byte) {
+	it.ok = false
+	var (
+		curUser  []byte
+		haveRun  bool
+		bestVal  []byte
+		bestDel  bool
+		haveBest bool
+	)
+	emit := func() bool {
+		if haveRun && haveBest && !bestDel {
+			it.key = append(it.key[:0], curUser...)
+			it.val = append(it.val[:0], bestVal...)
+			it.ok = true
+			return true
+		}
+		return false
+	}
+	for it.m.Valid() {
+		ik := it.m.Key()
+		u := ik.UserKey()
+		if upper != nil && kv.CompareUser(u, upper) >= 0 {
+			it.m.Prev()
+			continue
+		}
+		if !haveRun || kv.CompareUser(u, curUser) != 0 {
+			// Entering a smaller user key's run: the previous run is
+			// complete; resolve it.
+			if haveRun && emit() {
+				return
+			}
+			curUser = append(curUser[:0], u...)
+			haveRun = true
+			haveBest = false
+		}
+		if ik.Seq() <= it.seq {
+			// Ascending-seq order within the run: the last visible
+			// entry seen is the newest visible version.
+			bestVal = append(bestVal[:0], it.m.Value()...)
+			bestDel = ik.Kind() == kv.KindDelete
+			haveBest = true
+		}
+		it.m.Prev()
+	}
+	if emit() {
+		return
+	}
+	if err := it.m.Error(); err != nil {
+		it.err = err
+	}
+}
+
+// settle advances the merged stream to the newest visible version of
+// the next live user key after prevUser (nil = no lower bound).
+// Caller holds d.mu.
+func (it *Iterator) settle(prevUser []byte) {
+	it.ok = false
+	for it.m.Valid() {
+		ik := it.m.Key()
+		if ik.Seq() > it.seq {
+			it.m.Next()
+			continue
+		}
+		u := ik.UserKey()
+		if prevUser != nil && kv.CompareUser(u, prevUser) <= 0 {
+			it.m.Next()
+			continue
+		}
+		if ik.Kind() == kv.KindDelete {
+			// Tombstone: skip every older version of this key.
+			prevUser = append([]byte(nil), u...)
+			it.m.Next()
+			continue
+		}
+		it.key = append(it.key[:0], u...)
+		it.val = append(it.val[:0], it.m.Value()...)
+		it.ok = true
+		return
+	}
+	if err := it.m.Error(); err != nil {
+		it.err = err
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.ok && it.err == nil }
+
+// Key returns the current user key (valid until the next move).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value (valid until the next move).
+func (it *Iterator) Value() []byte { return it.val }
+
+// Error reports an iteration error.
+func (it *Iterator) Error() error { return it.err }
+
+// Close releases the iterator's snapshot.
+func (it *Iterator) Close() {
+	if it.snap != nil {
+		it.snap.Release()
+		it.snap = nil
+	}
+}
+
+// KV is a key/value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live entries with keys >= start, the range
+// query used by YCSB workload E.
+func (d *DB) Scan(start []byte, limit int) ([]KV, error) {
+	it := d.NewIterator()
+	defer it.Close()
+	var out []KV
+	for it.Seek(start); it.Valid() && len(out) < limit; it.Next() {
+		out = append(out, KV{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Error()
+}
+
+// ScanReverse returns up to limit live entries with keys <= start in
+// descending order (nil start = from the largest key).
+func (d *DB) ScanReverse(start []byte, limit int) ([]KV, error) {
+	it := d.NewIterator()
+	defer it.Close()
+	if start == nil {
+		it.SeekToLast()
+	} else {
+		it.Seek(start)
+		if it.Valid() {
+			if kv.CompareUser(it.Key(), start) > 0 {
+				it.Prev()
+			}
+		} else {
+			it.SeekToLast()
+		}
+	}
+	var out []KV
+	for ; it.Valid() && len(out) < limit; it.Prev() {
+		out = append(out, KV{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Error()
+}

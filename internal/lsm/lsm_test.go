@@ -1,0 +1,667 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sealdb/internal/kv"
+	"sealdb/internal/smr"
+	"sealdb/internal/sstable"
+)
+
+// tinyConfig returns a geometry small enough that a few thousand keys
+// exercise flushes and multi-level compactions quickly.
+func tinyConfig(mode Mode) Config {
+	cfg := Config{Mode: mode, Seed: 1}
+	cfg.Geometry = Geometry{
+		SSTableSize:        16 * kv.KiB,
+		BandSize:           160 * kv.KiB,
+		GuardSize:          16 * kv.KiB,
+		MemtableSize:       16 * kv.KiB,
+		L0CompactTrigger:   4,
+		BaseLevelBytes:     160 * kv.KiB,
+		LevelMultiplier:    10,
+		NumLevels:          7,
+		MaxCompactionFiles: 8,
+		DiskCapacity:       256 * kv.MiB,
+		ManifestSize:       2 * kv.MiB,
+		BlockCacheSize:     1 * kv.MiB,
+	}
+	cfg.applyMode()
+	return cfg
+}
+
+func allModes() []Mode {
+	return []Mode{ModeLevelDB, ModeLevelDBSets, ModeSMRDB, ModeSEALDB}
+}
+
+// loadRandom writes n random keys (with some overwrites and deletes)
+// and returns the reference state.
+func loadRandom(t *testing.T, d *DB, n int, seed int64) map[string]string {
+	t.Helper()
+	ref := map[string]string{}
+	loadRandomInto(t, d, n, seed, ref)
+	return ref
+}
+
+// loadRandomInto is loadRandom mutating a shared reference map, so
+// that deletes performed by a second load phase are reflected in the
+// first phase's expectations.
+func loadRandomInto(t *testing.T, d *DB, n int, seed int64, ref map[string]string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%07d", rng.Intn(n))
+		switch {
+		case rng.Intn(10) == 0 && len(ref) > 0:
+			if err := d.Delete([]byte(k)); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+			delete(ref, k)
+		default:
+			v := fmt.Sprintf("value-%d-%d-%032d", i, rng.Int63(), i)
+			if err := d.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			ref[k] = v
+		}
+	}
+}
+
+func verifyAll(t *testing.T, d *DB, ref map[string]string) {
+	t.Helper()
+	for k, want := range ref {
+		got, err := d.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Get(%q) = %q, want %q", k, got, want)
+		}
+	}
+	// A few absent keys.
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("absent%07d", i)
+		if _, err := d.Get([]byte(k)); err != ErrNotFound {
+			t.Fatalf("Get(%q) err = %v, want ErrNotFound", k, err)
+		}
+	}
+}
+
+func TestBasicCRUDAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if err := d.Put([]byte("a"), []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := d.Get([]byte("a")); string(v) != "1" {
+				t.Fatalf("got %q", v)
+			}
+			if err := d.Put([]byte("a"), []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := d.Get([]byte("a")); string(v) != "2" {
+				t.Fatalf("overwrite: got %q", v)
+			}
+			if err := d.Delete([]byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Get([]byte("a")); err != ErrNotFound {
+				t.Fatalf("after delete: %v", err)
+			}
+			if _, err := d.Get([]byte("never")); err != ErrNotFound {
+				t.Fatalf("missing key: %v", err)
+			}
+		})
+	}
+}
+
+func TestLoadAndReadBackAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			ref := loadRandom(t, d, 4000, 42)
+			if st := d.Stats(); st.FlushCount == 0 {
+				t.Error("load did not trigger flushes")
+			}
+			verifyAll(t, d, ref)
+		})
+	}
+}
+
+func TestCompactionsReachDeepLevels(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ref := loadRandom(t, d, 8000, 7)
+	st := d.Stats()
+	if st.CompactionCount == 0 {
+		t.Fatal("no compactions ran")
+	}
+	v := d.vs.Current()
+	if v.NumFiles(2) == 0 {
+		t.Errorf("no files reached L2; level sizes: %v", levelSizes(d))
+	}
+	verifyAll(t, d, ref)
+}
+
+func levelSizes(d *DB) []int {
+	v := d.vs.Current()
+	out := make([]int, d.cfg.NumLevels)
+	for l := range out {
+		out[l] = v.NumFiles(l)
+	}
+	return out
+}
+
+func TestSMRDBUsesTwoLevels(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSMRDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ref := loadRandom(t, d, 6000, 3)
+	v := d.vs.Current()
+	for l := 2; l < 7; l++ {
+		if v.NumFiles(l) != 0 {
+			t.Errorf("SMRDB has files at L%d", l)
+		}
+	}
+	if v.NumFiles(1) == 0 {
+		t.Error("SMRDB never compacted into L1")
+	}
+	verifyAll(t, d, ref)
+}
+
+func TestSEALDBZeroAuxiliaryWriteAmplification(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	loadRandom(t, d, 6000, 5)
+	if awa := smr.AWA(d.drive); awa != 1.0 {
+		t.Errorf("SEALDB AWA = %v, want exactly 1.0", awa)
+	}
+	amp := d.Amplification()
+	if amp.WA <= 1 {
+		t.Errorf("WA = %v, expected > 1 after compactions", amp.WA)
+	}
+	if amp.AWA != 1.0 {
+		t.Errorf("AWA = %v", amp.AWA)
+	}
+}
+
+func TestLevelDBOnSMRHasAuxiliaryAmplification(t *testing.T) {
+	d, err := Open(tinyConfig(ModeLevelDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	loadRandom(t, d, 8000, 5)
+	if awa := smr.AWA(d.drive); awa <= 1.05 {
+		t.Errorf("LevelDB-on-SMR AWA = %v, expected well above 1 from band RMW", awa)
+	}
+}
+
+func TestSEALDBSetsAreContiguous(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	loadRandom(t, d, 8000, 11)
+	// Every file at level >= 2 belongs to a set, and the files of a
+	// set occupy one contiguous extent in file order.
+	v := d.vs.Current()
+	setFiles := map[uint64][]uint64{}
+	deepFiles := 0
+	for l := 2; l < 7; l++ {
+		for _, f := range v.Files[l] {
+			deepFiles++
+			if f.SetID == 0 {
+				continue // trivially moved files keep no set
+			}
+			setFiles[f.SetID] = append(setFiles[f.SetID], f.Num)
+		}
+	}
+	if deepFiles == 0 {
+		t.Fatal("no deep files; load too small")
+	}
+	if len(setFiles) == 0 {
+		t.Fatal("no sets formed")
+	}
+	for id, files := range setFiles {
+		type ext struct{ off, end int64 }
+		var exts []ext
+		for _, num := range files {
+			e, err := d.backend.FileExtent(num)
+			if err != nil {
+				t.Fatalf("set %d file %d: %v", id, num, err)
+			}
+			exts = append(exts, ext{e.Off, e.End()})
+		}
+		sort.Slice(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
+		for i := 1; i < len(exts); i++ {
+			// Members may have gaps where dead members lived, but
+			// all must fall inside the registered set extent.
+			_ = i
+		}
+		rec, ok := d.vs.Sets()[id]
+		if !ok {
+			t.Fatalf("set %d not in manifest records", id)
+		}
+		for _, e := range exts {
+			if e.off < rec.Off || e.end > rec.Off+rec.Len {
+				t.Fatalf("set %d member extent [%d,%d) outside set extent [%d,%d)",
+					id, e.off, e.end, rec.Off, rec.Off+rec.Len)
+			}
+		}
+	}
+}
+
+func TestCompactionWritesAreSequentialInSEALDB(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.disk.EnableTrace()
+	loadRandom(t, d, 6000, 13)
+	trace := d.disk.DisableTrace()
+	// Group writes by compaction tag; within a compaction that
+	// produced a set (output level >= 2) the writes must form one
+	// ascending contiguous run.
+	grouped := map[int64]bool{}
+	for _, ci := range d.Stats().Compactions {
+		if !ci.Flush && !ci.TrivialMove && ci.ToLevel >= 2 && ci.OutputFiles > 0 {
+			grouped[int64(ci.ID)] = true
+		}
+	}
+	runs := map[int64][]int64{} // tag -> offsets in order
+	lens := map[int64]int64{}
+	for _, e := range trace {
+		if !e.Write || !grouped[e.Tag] {
+			continue
+		}
+		runs[e.Tag] = append(runs[e.Tag], e.Offset)
+		lens[e.Tag] += int64(e.Length)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no tagged set-producing compaction writes")
+	}
+	for tag, offs := range runs {
+		for i := 1; i < len(offs); i++ {
+			if offs[i] < offs[i-1] {
+				t.Fatalf("compaction %d wrote backwards: %v", tag, offs)
+			}
+		}
+		span := offs[len(offs)-1] - offs[0]
+		if span >= lens[tag]+4096 {
+			t.Fatalf("compaction %d writes span %d bytes for %d written: not contiguous",
+				tag, span, lens[tag])
+		}
+	}
+}
+
+func TestBatchAtomicityAndSequencing(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	b := NewBatch()
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("y"), []byte("2"))
+	b.Delete([]byte("x"))
+	if err := d.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get([]byte("x")); err != ErrNotFound {
+		t.Error("delete within batch not applied last")
+	}
+	if v, _ := d.Get([]byte("y")); string(v) != "2" {
+		t.Error("batch put lost")
+	}
+	if d.Seq() != 3 {
+		t.Errorf("seq = %d, want 3", d.Seq())
+	}
+	// Empty batch is a no-op.
+	if err := d.Apply(NewBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq() != 3 {
+		t.Error("empty batch consumed sequence numbers")
+	}
+}
+
+func TestReopenRecoversEverything(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := tinyConfig(mode)
+			d, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := loadRandom(t, d, 3000, 17)
+			// A few writes that only live in the WAL.
+			for i := 0; i < 10; i++ {
+				k := fmt.Sprintf("wal-only-%d", i)
+				if err := d.Put([]byte(k), []byte("fresh")); err != nil {
+					t.Fatal(err)
+				}
+				ref[k] = "fresh"
+			}
+			seqBefore := d.Seq()
+			dev := d.Device()
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			d2, err := OpenDevice(cfg, dev)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer d2.Close()
+			if d2.Seq() < seqBefore {
+				t.Errorf("sequence went backwards: %d < %d", d2.Seq(), seqBefore)
+			}
+			verifyAll(t, d2, ref)
+			// The store keeps working after recovery.
+			loadRandomInto(t, d2, 1000, 18, ref)
+			verifyAll(t, d2, ref)
+		})
+	}
+}
+
+func TestReopenTwiceWithSets(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	d, _ := Open(cfg)
+	ref := loadRandom(t, d, 5000, 23)
+	dev := d.Device()
+	d.Close()
+	d2, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push more data through so recovered sets get compacted away.
+	loadRandomInto(t, d2, 5000, 24, ref)
+	d2.Close()
+	d3, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	verifyAll(t, d3, ref)
+	if awa := smr.AWA(d3.drive); awa != 1.0 {
+		t.Errorf("AWA after recovery cycles = %v", awa)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put([]byte("k"), []byte("old"))
+	snap := d.NewSnapshot()
+	d.Put([]byte("k"), []byte("new"))
+	d.Delete([]byte("gone"))
+
+	if v, err := d.GetAt([]byte("k"), snap); err != nil || string(v) != "old" {
+		t.Fatalf("snapshot read = %q, %v", v, err)
+	}
+	if v, _ := d.Get([]byte("k")); string(v) != "new" {
+		t.Error("latest read wrong")
+	}
+
+	// Churn hard so compactions run; the snapshot must still see
+	// the old value afterwards.
+	loadRandom(t, d, 5000, 31)
+	if v, err := d.GetAt([]byte("k"), snap); err != nil || string(v) != "old" {
+		t.Fatalf("snapshot read after compactions = %q, %v", v, err)
+	}
+	snap.Release()
+	snap.Release() // double release is a no-op
+}
+
+func TestIteratorMatchesReference(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			ref := loadRandom(t, d, 4000, 51)
+			keys := make([]string, 0, len(ref))
+			for k := range ref {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+
+			it := d.NewIterator()
+			defer it.Close()
+			i := 0
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				if i >= len(keys) {
+					t.Fatalf("iterator yielded extra key %q", it.Key())
+				}
+				if string(it.Key()) != keys[i] {
+					t.Fatalf("position %d: got %q, want %q", i, it.Key(), keys[i])
+				}
+				if string(it.Value()) != ref[keys[i]] {
+					t.Fatalf("value mismatch at %q", keys[i])
+				}
+				i++
+			}
+			if err := it.Error(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(keys) {
+				t.Fatalf("iterated %d keys, want %d", i, len(keys))
+			}
+		})
+	}
+}
+
+func TestScan(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ref := loadRandom(t, d, 3000, 61)
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	start := keys[len(keys)/2]
+	got, err := d.Scan([]byte(start), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := keys[len(keys)/2:]
+	if len(want) > 50 {
+		want = want[:50]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if string(got[i].Key) != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i].Key, want[i])
+		}
+		if !bytes.Equal(got[i].Value, []byte(ref[want[i]])) {
+			t.Fatalf("scan value mismatch at %q", want[i])
+		}
+	}
+}
+
+func TestTombstonesSurviveCompactionUntilBase(t *testing.T) {
+	// A delete must shadow older versions even after the tombstone's
+	// level compacts, across every mode (the overlapped-level mode is
+	// the risky one).
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			// Write the victim key early so it sinks deep.
+			d.Put([]byte("victim"), []byte("alive"))
+			loadRandom(t, d, 3000, 71)
+			// Delete it, then churn to push the tombstone down.
+			d.Delete([]byte("victim"))
+			loadRandom(t, d, 3000, 72)
+			if _, err := d.Get([]byte("victim")); err != ErrNotFound {
+				t.Fatalf("deleted key resurrected: %v", err)
+			}
+		})
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	d.Put([]byte("a"), []byte("b"))
+	d.Close()
+	if err := d.Put([]byte("x"), []byte("y")); err != ErrClosed {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := d.Get([]byte("a")); err != ErrClosed {
+		t.Errorf("Get after close: %v", err)
+	}
+	if err := d.Close(); err != ErrClosed {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// A value larger than the memtable threshold.
+	big := bytes.Repeat([]byte("B"), 64*1024)
+	if err := d.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	d.Put([]byte("after"), []byte("ok"))
+	got, err := d.Get([]byte("big"))
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large value: err=%v len=%d", err, len(got))
+	}
+	if v, _ := d.Get([]byte("after")); string(v) != "ok" {
+		t.Error("write after large value lost")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	loadRandom(t, d, 3000, 81)
+	st := d.Stats()
+	if st.UserBytes == 0 || st.UserWrites == 0 {
+		t.Error("user write stats empty")
+	}
+	if st.FlushBytes == 0 || st.CompactionWriteBytes == 0 {
+		t.Errorf("flush/compaction stats empty: %+v", st)
+	}
+	if len(st.Compactions) == 0 {
+		t.Error("no compaction trace")
+	}
+	for _, ci := range st.Compactions {
+		if !ci.Flush && !ci.TrivialMove && ci.Latency <= 0 {
+			t.Errorf("compaction %d has no simulated latency", ci.ID)
+		}
+	}
+	amp := d.Amplification()
+	if amp.MWA < amp.WA {
+		t.Errorf("MWA %v < WA %v", amp.MWA, amp.WA)
+	}
+}
+
+func TestSetRegistryReclaimsExtents(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	loadRandom(t, d, 10000, 91)
+	// Sets must come and go: the registry should not grow without
+	// bound, and the dynamic band manager must have reclaimed space.
+	mgr := d.dev.DBand
+	if mgr.Stats().Frees == 0 {
+		t.Error("no set extents were ever freed")
+	}
+	live, total := d.sets.memberStats()
+	if live > total {
+		t.Errorf("registry corrupt: %d live > %d total", live, total)
+	}
+	// Freed space must actually be reused: inserts into reclaimed
+	// regions happen, and the free list is not growing without bound.
+	if mgr.Stats().Inserts == 0 {
+		t.Error("no allocations ever reused freed set space")
+	}
+	if free, frontier := mgr.FreeBytes(), mgr.Frontier(); frontier > 0 && free > frontier*9/10 {
+		t.Errorf("free list holds %d of %d frontier bytes: space never reused", free, frontier)
+	}
+}
+
+func TestCompressedStoreEndToEnd(t *testing.T) {
+	cfg := tinyConfig(ModeSEALDB)
+	cfg.Compression = sstable.FlateCompression
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Compressible values (the loadRandom values are fairly regular).
+	ref := loadRandom(t, d, 5000, 101)
+	verifyAll(t, d, ref)
+	if err := d.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery with compressed tables.
+	dev := d.Device()
+	d.Close()
+	d2, err := OpenDevice(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	verifyAll(t, d2, ref)
+
+	// A same-load uncompressed store must use more table space.
+	plain, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	loadRandom(t, plain, 5000, 101)
+	var compBytes, plainBytes int64
+	for _, li := range d2.LevelProfile() {
+		compBytes += li.Bytes
+	}
+	for _, li := range plain.LevelProfile() {
+		plainBytes += li.Bytes
+	}
+	if compBytes >= plainBytes {
+		t.Errorf("compressed store %d bytes >= plain %d", compBytes, plainBytes)
+	}
+}

@@ -1,0 +1,248 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestModelBasedRandomOps drives a long random schedule of puts,
+// deletes, batches, gets, scans, snapshots, reopens, manual
+// compactions and (in SEALDB mode) GC passes against a map-based
+// model, across every mode. This is the repository's main
+// metamorphic/stress test.
+func TestModelBasedRandomOps(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			testModelBasedRandomOps(t, mode)
+		})
+	}
+}
+
+func testModelBasedRandomOps(t *testing.T, mode Mode) {
+	cfg := tinyConfig(mode)
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+
+	rng := rand.New(rand.NewSource(int64(mode)*977 + 5))
+	model := map[string]string{}
+	type snap struct {
+		s     *Snapshot
+		state map[string]string
+	}
+	var snaps []snap
+	keyOf := func() string { return fmt.Sprintf("mk%06d", rng.Intn(3000)) }
+
+	const steps = 6000
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // put
+			k := keyOf()
+			v := fmt.Sprintf("v%d-%d", step, rng.Int63())
+			if err := d.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("step %d put: %v", step, err)
+			}
+			model[k] = v
+		case op < 55: // delete
+			k := keyOf()
+			if err := d.Delete([]byte(k)); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(model, k)
+		case op < 62: // batch of mixed ops
+			b := NewBatch()
+			type pend struct {
+				k, v string
+				del  bool
+			}
+			var pends []pend
+			for i := 0; i < 1+rng.Intn(20); i++ {
+				k := keyOf()
+				if rng.Intn(4) == 0 {
+					b.Delete([]byte(k))
+					pends = append(pends, pend{k: k, del: true})
+				} else {
+					v := fmt.Sprintf("b%d-%d", step, i)
+					b.Put([]byte(k), []byte(v))
+					pends = append(pends, pend{k: k, v: v})
+				}
+			}
+			if err := d.Apply(b); err != nil {
+				t.Fatalf("step %d batch: %v", step, err)
+			}
+			for _, p := range pends {
+				if p.del {
+					delete(model, p.k)
+				} else {
+					model[p.k] = p.v
+				}
+			}
+		case op < 80: // get
+			k := keyOf()
+			got, err := d.Get([]byte(k))
+			want, ok := model[k]
+			if ok {
+				if err != nil || string(got) != want {
+					t.Fatalf("step %d get(%q) = (%q, %v), want %q", step, k, got, err, want)
+				}
+			} else if err != ErrNotFound {
+				t.Fatalf("step %d get(%q) = (%q, %v), want ErrNotFound", step, k, got, err)
+			}
+		case op < 85: // short scan vs model
+			start := keyOf()
+			got, err := d.Scan([]byte(start), 10)
+			if err != nil {
+				t.Fatalf("step %d scan: %v", step, err)
+			}
+			var keys []string
+			for k := range model {
+				if k >= start {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			if len(keys) > 10 {
+				keys = keys[:10]
+			}
+			if len(got) != len(keys) {
+				t.Fatalf("step %d scan(%q): %d results, want %d", step, start, len(got), len(keys))
+			}
+			for i := range got {
+				if string(got[i].Key) != keys[i] || string(got[i].Value) != model[keys[i]] {
+					t.Fatalf("step %d scan(%q)[%d] = %q, want %q", step, start, i, got[i].Key, keys[i])
+				}
+			}
+		case op < 88: // take a snapshot
+			if len(snaps) < 3 {
+				st := make(map[string]string, len(model))
+				for k, v := range model {
+					st[k] = v
+				}
+				snaps = append(snaps, snap{s: d.NewSnapshot(), state: st})
+			}
+		case op < 92: // check + release a snapshot
+			if len(snaps) > 0 {
+				i := rng.Intn(len(snaps))
+				sn := snaps[i]
+				for j := 0; j < 5; j++ {
+					k := keyOf()
+					got, err := d.GetAt([]byte(k), sn.s)
+					want, ok := sn.state[k]
+					if ok && (err != nil || string(got) != want) {
+						t.Fatalf("step %d snapshot get(%q) = (%q, %v), want %q", step, k, got, err, want)
+					}
+					if !ok && err != ErrNotFound {
+						t.Fatalf("step %d snapshot get(%q) err = %v, want ErrNotFound", step, k, err)
+					}
+				}
+				sn.s.Release()
+				snaps = append(snaps[:i], snaps[i+1:]...)
+			}
+		case op < 94: // manual compaction
+			if err := d.CompactRange(nil, nil); err != nil {
+				t.Fatalf("step %d compact: %v", step, err)
+			}
+		case op < 96: // GC pass (sealdb only)
+			if mode == ModeSEALDB {
+				if _, err := d.DefragmentBands(2); err != nil {
+					t.Fatalf("step %d gc: %v", step, err)
+				}
+			}
+		default: // reopen (drops snapshots, which do not survive restarts)
+			for _, sn := range snaps {
+				sn.s.Release()
+			}
+			snaps = nil
+			dev := d.Device()
+			if err := d.Close(); err != nil {
+				t.Fatalf("step %d close: %v", step, err)
+			}
+			d, err = OpenDevice(cfg, dev)
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+		}
+	}
+
+	// Final sweep: every model key readable, every absent prefix miss,
+	// full iterator agrees with the model, integrity holds.
+	for k, v := range model {
+		got, err := d.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("final get(%q) = (%q, %v), want %q", k, got, err, v)
+		}
+	}
+	it := d.NewIterator()
+	defer it.Close()
+	var keys []string
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if i >= len(keys) || string(it.Key()) != keys[i] {
+			t.Fatalf("final iterator position %d: %q", i, it.Key())
+		}
+		if !bytes.Equal(it.Value(), []byte(model[keys[i]])) {
+			t.Fatalf("final iterator value mismatch at %q", keys[i])
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("final iterator saw %d keys, want %d", i, len(keys))
+	}
+	if err := d.VerifyIntegrity(); err != nil {
+		t.Fatalf("final integrity: %v", err)
+	}
+	if mode == ModeSEALDB {
+		if amp := d.Amplification(); amp.AWA != 1.0 {
+			t.Fatalf("final AWA = %v", amp.AWA)
+		}
+	}
+}
+
+// TestIteratorSnapshotStability: an iterator's view must not change
+// while writes land underneath it.
+func TestIteratorSnapshotStability(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 500; i++ {
+		d.Put([]byte(fmt.Sprintf("s%04d", i)), []byte(fmt.Sprintf("old%d", i)))
+	}
+	it := d.NewIterator()
+	defer it.Close()
+	it.SeekToFirst()
+	// Mutate heavily while iterating.
+	count := 0
+	for it.Valid() {
+		if count%10 == 0 {
+			k := fmt.Sprintf("s%04d", count)
+			d.Put([]byte(k), []byte("NEW"))
+			d.Delete([]byte(fmt.Sprintf("s%04d", count+1)))
+			d.Put([]byte(fmt.Sprintf("zz%04d", count)), []byte("late")) // past the cursor but > snapshot
+		}
+		if string(it.Value()) == "NEW" {
+			t.Fatalf("iterator saw a write made after its snapshot at %q", it.Key())
+		}
+		if bytes.HasPrefix(it.Key(), []byte("zz")) {
+			t.Fatalf("iterator saw key %q inserted after its snapshot", it.Key())
+		}
+		count++
+		it.Next()
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Fatalf("iterator saw %d keys, want the original 500", count)
+	}
+}

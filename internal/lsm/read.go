@@ -1,0 +1,166 @@
+package lsm
+
+import (
+	"sealdb/internal/kv"
+	"sealdb/internal/version"
+)
+
+// Get returns the value of key at the latest sequence number.
+func (d *DB) Get(key []byte) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.getLocked(key, d.seq)
+}
+
+// GetAt returns the value of key as of the given snapshot.
+func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return d.getLocked(key, snap.seq)
+}
+
+// getLocked is the LevelDB read path: memtable, then level 0 newest
+// to oldest, then each deeper level. Caller holds d.mu.
+func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
+	d.stats.Gets++
+	if v, deleted, ok := d.mem.Get(key, seq); ok {
+		if deleted {
+			return nil, ErrNotFound
+		}
+		d.stats.GetHits++
+		return append([]byte(nil), v...), nil
+	}
+	v := d.vs.Current()
+
+	// Level 0: files may overlap; newest (highest number) wins.
+	// Flush order guarantees file-number order is data recency order.
+	files := v.Files[0]
+	for i := len(files) - 1; i >= 0; i-- {
+		f := files[i]
+		if !fileMayContain(f, key) {
+			continue
+		}
+		val, _, kind, ok, err := d.tableGet(f, key, seq)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if kind == kv.KindDelete {
+				return nil, ErrNotFound
+			}
+			d.stats.GetHits++
+			return val, nil
+		}
+	}
+
+	for level := 1; level < d.cfg.NumLevels; level++ {
+		candidates := v.Overlaps(level, key, key, d.cfg.sortedLevel(level))
+		if len(candidates) == 0 {
+			continue
+		}
+		if d.cfg.sortedLevel(level) {
+			// At most one file can contain the key.
+			val, _, kind, ok, err := d.tableGet(candidates[0], key, seq)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if kind == kv.KindDelete {
+					return nil, ErrNotFound
+				}
+				d.stats.GetHits++
+				return val, nil
+			}
+			continue
+		}
+		// Overlapped level (SMRDB): several files may hold versions
+		// of the key; the highest visible sequence number wins.
+		var (
+			best     []byte
+			bestSeq  kv.SeqNum
+			bestKind kv.Kind
+			found    bool
+		)
+		for _, f := range candidates {
+			val, fseq, kind, ok, err := d.tableGet(f, key, seq)
+			if err != nil {
+				return nil, err
+			}
+			if ok && (!found || fseq > bestSeq) {
+				best, bestSeq, bestKind, found = val, fseq, kind, true
+			}
+		}
+		if found {
+			if bestKind == kv.KindDelete {
+				return nil, ErrNotFound
+			}
+			d.stats.GetHits++
+			return best, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// fileMayContain is the cheap user-key range test.
+func fileMayContain(f *version.FileMeta, key []byte) bool {
+	return kv.CompareUser(key, f.Smallest.UserKey()) >= 0 &&
+		kv.CompareUser(key, f.Largest.UserKey()) <= 0
+}
+
+// tableGet looks key up in one table file. Caller holds d.mu.
+func (d *DB) tableGet(f *version.FileMeta, key []byte, seq kv.SeqNum) ([]byte, kv.SeqNum, kv.Kind, bool, error) {
+	t, err := d.openTable(f)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return t.GetEntry(key, seq)
+}
+
+// Snapshot pins a sequence number: reads through it see the database
+// as of its creation, and compactions keep the versions it needs.
+type Snapshot struct {
+	seq kv.SeqNum
+	db  *DB
+}
+
+// NewSnapshot captures the current state.
+func (d *DB) NewSnapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.snapshots[d.seq]++
+	return &Snapshot{seq: d.seq, db: d}
+}
+
+// Release un-pins the snapshot. Releasing twice is a no-op.
+func (s *Snapshot) Release() {
+	if s.db == nil {
+		return
+	}
+	d := s.db
+	s.db = nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := d.snapshots[s.seq]; n > 1 {
+		d.snapshots[s.seq] = n - 1
+	} else {
+		delete(d.snapshots, s.seq)
+	}
+}
+
+// smallestSnapshot returns the oldest sequence number any reader can
+// still observe. Caller holds d.mu.
+func (d *DB) smallestSnapshot() kv.SeqNum {
+	min := d.seq
+	for s := range d.snapshots {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}

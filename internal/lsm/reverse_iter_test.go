@@ -1,0 +1,240 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestReverseFullScan: SeekToLast + Prev must yield exactly the
+// forward scan reversed, across every mode.
+func TestReverseFullScan(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			d, err := Open(tinyConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			ref := loadRandom(t, d, 3000, 411)
+			keys := make([]string, 0, len(ref))
+			for k := range ref {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+
+			it := d.NewIterator()
+			defer it.Close()
+			i := len(keys) - 1
+			for it.SeekToLast(); it.Valid(); it.Prev() {
+				if i < 0 {
+					t.Fatalf("reverse scan yielded extra key %q", it.Key())
+				}
+				if string(it.Key()) != keys[i] {
+					t.Fatalf("reverse position %d: got %q, want %q", i, it.Key(), keys[i])
+				}
+				if !bytes.Equal(it.Value(), []byte(ref[keys[i]])) {
+					t.Fatalf("reverse value mismatch at %q", keys[i])
+				}
+				i--
+			}
+			if err := it.Error(); err != nil {
+				t.Fatal(err)
+			}
+			if i != -1 {
+				t.Fatalf("reverse scan stopped at index %d", i)
+			}
+		})
+	}
+}
+
+// TestBidirectionalRandomWalk: a random Next/Prev/Seek walk must track
+// a sorted reference exactly, including direction switches.
+func TestBidirectionalRandomWalk(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ref := loadRandom(t, d, 3000, 413)
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	it := d.NewIterator()
+	defer it.Close()
+	rng := rand.New(rand.NewSource(17))
+	pos := -1 // reference index; -1 = invalid
+	for step := 0; step < 4000; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			it.SeekToFirst()
+			pos = 0
+			if len(keys) == 0 {
+				pos = -1
+			}
+		case 1:
+			it.SeekToLast()
+			pos = len(keys) - 1
+		case 2:
+			target := fmt.Sprintf("key%07d", rng.Intn(4000))
+			it.Seek([]byte(target))
+			pos = sort.SearchStrings(keys, target)
+			if pos == len(keys) {
+				pos = -1
+			}
+		case 3, 4:
+			if pos >= 0 {
+				it.Next()
+				pos++
+				if pos >= len(keys) {
+					pos = -1
+				}
+			}
+		default:
+			if pos >= 0 {
+				it.Prev()
+				pos--
+			}
+		}
+		if pos < 0 || pos >= len(keys) {
+			if it.Valid() {
+				t.Fatalf("step %d: iterator valid at %q, reference invalid", step, it.Key())
+			}
+			pos = -1
+			continue
+		}
+		if !it.Valid() {
+			t.Fatalf("step %d: iterator invalid, reference at %q (idx %d)", step, keys[pos], pos)
+		}
+		if string(it.Key()) != keys[pos] {
+			t.Fatalf("step %d: iterator at %q, reference at %q", step, it.Key(), keys[pos])
+		}
+		if !bytes.Equal(it.Value(), []byte(ref[keys[pos]])) {
+			t.Fatalf("step %d: value mismatch at %q", step, it.Key())
+		}
+	}
+}
+
+// TestPrevSkipsTombstonesAndOldVersions: reverse iteration must
+// resolve multi-version keys to the newest visible version and skip
+// deleted keys entirely.
+func TestPrevSkipsTombstonesAndOldVersions(t *testing.T) {
+	d, err := Open(tinyConfig(ModeSEALDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Overwrite each key several times, delete every third, and churn
+	// so versions spread across memtable and several levels.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			d.Put([]byte(fmt.Sprintf("r%04d", i)), []byte(fmt.Sprintf("round%d-%d", round, i)))
+		}
+		d.FlushMemtable()
+	}
+	for i := 0; i < 300; i += 3 {
+		d.Delete([]byte(fmt.Sprintf("r%04d", i)))
+	}
+
+	it := d.NewIterator()
+	defer it.Close()
+	seen := 0
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		var i int
+		fmt.Sscanf(string(it.Key()), "r%d", &i)
+		if i%3 == 0 {
+			t.Fatalf("deleted key %q surfaced in reverse scan", it.Key())
+		}
+		want := fmt.Sprintf("round4-%d", i)
+		if string(it.Value()) != want {
+			t.Fatalf("key %q: got %q, want newest version %q", it.Key(), it.Value(), want)
+		}
+		seen++
+	}
+	if want := 300 - 100; seen != want {
+		t.Fatalf("reverse scan saw %d keys, want %d", seen, want)
+	}
+}
+
+// TestSeekThenPrev: the classic direction-switch pattern "find the
+// largest key < target".
+func TestSeekThenPrev(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	for i := 0; i < 1000; i += 2 {
+		d.Put([]byte(fmt.Sprintf("e%04d", i)), []byte("v"))
+	}
+	d.FlushMemtable()
+	it := d.NewIterator()
+	defer it.Close()
+
+	it.Seek([]byte("e0501")) // between e0500 and e0502
+	if !it.Valid() || string(it.Key()) != "e0502" {
+		t.Fatalf("seek landed on %q", it.Key())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "e0500" {
+		t.Fatalf("prev landed on %q", it.Key())
+	}
+	it.Next()
+	if !it.Valid() || string(it.Key()) != "e0502" {
+		t.Fatalf("next after prev landed on %q", it.Key())
+	}
+	// Prev past the beginning invalidates.
+	it.Seek([]byte("e0000"))
+	it.Prev()
+	if it.Valid() {
+		t.Fatalf("prev before first key should invalidate, at %q", it.Key())
+	}
+}
+
+func TestScanReverse(t *testing.T) {
+	d, _ := Open(tinyConfig(ModeSEALDB))
+	defer d.Close()
+	ref := loadRandom(t, d, 2000, 911)
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// From the top.
+	got, err := d.ScanReverse(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := keys[len(keys)-1-i]
+		if string(got[i].Key) != want {
+			t.Fatalf("reverse[%d] = %q, want %q", i, got[i].Key, want)
+		}
+	}
+
+	// From a midpoint that is an existing key: inclusive.
+	mid := keys[len(keys)/2]
+	got, err = d.ScanReverse([]byte(mid), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || string(got[0].Key) != mid {
+		t.Fatalf("reverse from %q started at %v", mid, got)
+	}
+
+	// From a key between two existing keys: starts below it.
+	between := mid + "!"
+	got, _ = d.ScanReverse([]byte(between), 1)
+	if len(got) != 1 || string(got[0].Key) != mid {
+		t.Fatalf("reverse from %q started at %v, want %q", between, got, mid)
+	}
+
+	// From below the smallest key: empty.
+	got, _ = d.ScanReverse([]byte("a"), 5)
+	if len(got) != 0 {
+		t.Fatalf("reverse below smallest returned %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package memtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sealdb/internal/kv"
+)
+
+func BenchmarkAdd(b *testing.B) {
+	m := New(1)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(kv.SeqNum(i+1), kv.KindSet, fmt.Appendf(nil, "key%09d", i), val)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Add(kv.SeqNum(i+1), kv.KindSet, fmt.Appendf(nil, "key%09d", i), []byte("v"))
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.Get(fmt.Appendf(nil, "key%09d", rng.Intn(n)), kv.MaxSeqNum); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkIterate(b *testing.B) {
+	m := New(1)
+	for i := 0; i < 10000; i++ {
+		m.Add(kv.SeqNum(i+1), kv.KindSet, fmt.Appendf(nil, "key%09d", i), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := m.NewIterator()
+		n := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			n++
+		}
+		if n != 10000 {
+			b.Fatal(n)
+		}
+	}
+}

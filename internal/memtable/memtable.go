@@ -1,0 +1,199 @@
+// Package memtable implements the in-memory write buffer of the LSM
+// tree: a skiplist ordered by internal key, as in LevelDB. Mutations
+// are applied by a single writer; readers are synchronized by the DB.
+package memtable
+
+import (
+	"math/rand"
+
+	"sealdb/internal/kv"
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+type node struct {
+	key   kv.InternalKey
+	value []byte
+	next  []*node
+}
+
+// MemTable is a skiplist of internal keys. The zero value is not
+// usable; call New.
+type MemTable struct {
+	head   *node
+	rnd    *rand.Rand
+	height int
+	size   int64
+	count  int
+}
+
+// New creates an empty memtable. The seed makes skiplist tower
+// heights deterministic for reproducible experiments.
+func New(seed int64) *MemTable {
+	return &MemTable{
+		head:   &node{next: make([]*node, maxHeight)},
+		rnd:    rand.New(rand.NewSource(seed)),
+		height: 1,
+	}
+}
+
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rnd.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findLessThan returns the rightmost node whose key is < target, or
+// nil when no such node exists.
+func (m *MemTable) findLessThan(target kv.InternalKey) *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && kv.CompareInternal(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the final node of the list, or nil when empty.
+func (m *MemTable) findLast() *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		if next := x.next[level]; next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findGreaterOrEqual returns the first node with key >= target, and
+// fills prev (when non-nil) with the rightmost node before target at
+// every level.
+func (m *MemTable) findGreaterOrEqual(target kv.InternalKey, prev []*node) *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && kv.CompareInternal(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Add inserts a mutation. Keys are copied; the caller may reuse its
+// buffers.
+func (m *MemTable) Add(seq kv.SeqNum, kind kv.Kind, ukey, value []byte) {
+	ik := kv.MakeInternalKey(make([]byte, 0, len(ukey)+kv.TrailerLen), ukey, seq, kind)
+	var v []byte
+	if len(value) > 0 {
+		v = append([]byte(nil), value...)
+	}
+	var prev [maxHeight]*node
+	m.findGreaterOrEqual(ik, prev[:])
+
+	h := m.randomHeight()
+	if h > m.height {
+		for i := m.height; i < h; i++ {
+			prev[i] = m.head
+		}
+		m.height = h
+	}
+	n := &node{key: ik, value: v, next: make([]*node, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	m.count++
+	m.size += int64(len(ik)) + int64(len(v)) + int64(h)*8 + 48
+}
+
+// Get looks up ukey at snapshot seq. It returns the value and ok=true
+// for a live entry, ok=true with deleted=true for a tombstone, and
+// ok=false when the memtable holds nothing visible for the key.
+func (m *MemTable) Get(ukey []byte, seq kv.SeqNum) (value []byte, deleted, ok bool) {
+	var buf [64]byte
+	search := kv.MakeSearchKey(buf[:0], ukey, seq)
+	n := m.findGreaterOrEqual(search, nil)
+	if n == nil || kv.CompareUser(n.key.UserKey(), ukey) != 0 {
+		return nil, false, false
+	}
+	if n.key.Kind() == kv.KindDelete {
+		return nil, true, true
+	}
+	return n.value, false, true
+}
+
+// ApproximateSize returns the memory consumed by entries, used to
+// decide when to rotate the memtable.
+func (m *MemTable) ApproximateSize() int64 { return m.size }
+
+// Len returns the number of entries.
+func (m *MemTable) Len() int { return m.count }
+
+// Empty reports whether the memtable holds no entries.
+func (m *MemTable) Empty() bool { return m.count == 0 }
+
+// NewIterator returns a forward iterator over the skiplist. The
+// iterator observes entries added after its creation (single-writer
+// discipline makes this benign, matching LevelDB's memtable).
+func (m *MemTable) NewIterator() kv.Iterator {
+	return &iterator{m: m}
+}
+
+type iterator struct {
+	m *MemTable
+	n *node
+}
+
+func (it *iterator) Valid() bool { return it.n != nil }
+
+func (it *iterator) SeekToFirst() { it.n = it.m.head.next[0] }
+
+func (it *iterator) Seek(target kv.InternalKey) {
+	it.n = it.m.findGreaterOrEqual(target, nil)
+}
+
+func (it *iterator) SeekToLast() { it.n = it.m.findLast() }
+
+func (it *iterator) Next() { it.n = it.n.next[0] }
+
+// Prev steps back by searching for the predecessor of the current
+// key — O(log n) per step, the standard cost of a singly linked
+// skiplist, exactly as LevelDB's memtable iterator works.
+func (it *iterator) Prev() { it.n = it.m.findLessThan(it.n.key) }
+
+func (it *iterator) Key() kv.InternalKey { return it.n.key }
+
+func (it *iterator) Value() []byte { return it.n.value }
+
+func (it *iterator) Error() error { return nil }

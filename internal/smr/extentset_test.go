@@ -1,0 +1,103 @@
+package smr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSet is a brute-force reference implementation over a byte map.
+type refSet map[int64]bool
+
+func (r refSet) insert(e Extent) {
+	for i := e.Off; i < e.End(); i++ {
+		r[i] = true
+	}
+}
+
+func (r refSet) remove(e Extent) {
+	for i := e.Off; i < e.End(); i++ {
+		delete(r, i)
+	}
+}
+
+func (r refSet) intersects(e Extent) bool {
+	for i := e.Off; i < e.End(); i++ {
+		if r[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (r refSet) total() int64 { return int64(len(r)) }
+
+func TestExtentSetAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s extentSet
+	ref := refSet{}
+	const space = 500
+	for i := 0; i < 4000; i++ {
+		e := Extent{Off: int64(rng.Intn(space)), Len: int64(rng.Intn(20))}
+		switch rng.Intn(3) {
+		case 0:
+			s.insert(e)
+			ref.insert(e)
+		case 1:
+			s.remove(e)
+			ref.remove(e)
+		case 2:
+			_, got := s.intersect(e)
+			if want := ref.intersects(e); got != want {
+				t.Fatalf("op %d: intersect(%v) = %v, want %v\nset: %v", i, e, got, want, s)
+			}
+		}
+		if s.total() != ref.total() {
+			t.Fatalf("op %d: total %d, want %d\nset: %v", i, s.total(), ref.total(), s)
+		}
+	}
+}
+
+func TestExtentSetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s extentSet
+	for i := 0; i < 2000; i++ {
+		e := Extent{Off: int64(rng.Intn(1000)), Len: int64(1 + rng.Intn(30))}
+		if rng.Intn(2) == 0 {
+			s.insert(e)
+		} else {
+			s.remove(e)
+		}
+		// Invariant: sorted, disjoint, non-adjacent, positive lengths.
+		for j, x := range s {
+			if x.Len <= 0 {
+				t.Fatalf("non-positive extent %v at %d", x, j)
+			}
+			if j > 0 && s[j-1].End() >= x.Off {
+				t.Fatalf("extents not disjoint/merged: %v then %v", s[j-1], x)
+			}
+		}
+	}
+}
+
+func TestExtentSetMergesAdjacent(t *testing.T) {
+	var s extentSet
+	s.insert(Extent{0, 10})
+	s.insert(Extent{10, 10})
+	if len(s) != 1 || s[0] != (Extent{0, 20}) {
+		t.Fatalf("adjacent extents not merged: %v", s)
+	}
+	s.insert(Extent{30, 5})
+	s.insert(Extent{20, 10}) // bridges the gap
+	if len(s) != 1 || s[0] != (Extent{0, 35}) {
+		t.Fatalf("bridging insert not merged: %v", s)
+	}
+}
+
+func TestExtentSetRemoveSplits(t *testing.T) {
+	var s extentSet
+	s.insert(Extent{0, 100})
+	s.remove(Extent{40, 20})
+	if len(s) != 2 || s[0] != (Extent{0, 40}) || s[1] != (Extent{60, 40}) {
+		t.Fatalf("remove did not split: %v", s)
+	}
+}

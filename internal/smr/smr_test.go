@@ -1,0 +1,307 @@
+package smr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sealdb/internal/platter"
+)
+
+func newDisk(capacity int64) *platter.Disk {
+	cfg := platter.DefaultConfig(capacity)
+	cfg.ChunkSize = 4096
+	return platter.New(cfg)
+}
+
+// --- FixedBandDrive ---
+
+func TestFixedBandSequentialNoRMW(t *testing.T) {
+	d := NewFixedBand(newDisk(1<<20), 64<<10)
+	buf := make([]byte, 16<<10)
+	for i := int64(0); i < 4; i++ {
+		if _, err := d.WriteAt(buf, i*int64(len(buf))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.RMWCount() != 0 {
+		t.Errorf("sequential fill caused %d RMWs", d.RMWCount())
+	}
+	if got := AWA(d); got != 1.0 {
+		t.Errorf("sequential AWA = %v, want 1.0", got)
+	}
+}
+
+func TestFixedBandRewriteTriggersRMW(t *testing.T) {
+	bandSize := int64(64 << 10)
+	d := NewFixedBand(newDisk(4<<20), bandSize)
+	// Fill the first band fully.
+	fill := make([]byte, bandSize)
+	rand.New(rand.NewSource(1)).Read(fill)
+	if _, err := d.WriteAt(fill, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Disk().Stats().BytesWritten
+
+	// Rewrite 4 KiB in the middle: the write is staged in the media
+	// cache; the band is cleaned (read-modify-write) when it is next
+	// read.
+	patch := []byte("patched-data-....")
+	if _, err := d.WriteAt(patch, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if d.RMWCount() != 0 {
+		t.Fatalf("RMWCount = %d before cleaning, want 0 (media cache)", d.RMWCount())
+	}
+
+	// The read must see the merged data and trigger the cleaning.
+	got := make([]byte, bandSize)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.RMWCount() != 1 {
+		t.Fatalf("RMWCount = %d after read, want 1", d.RMWCount())
+	}
+	want := append([]byte(nil), fill...)
+	copy(want[8192:], patch)
+	if !bytes.Equal(got, want) {
+		t.Error("band contents corrupted by RMW")
+	}
+	// Device traffic: the cache append plus a full-band rewrite.
+	devWritten := d.Disk().Stats().BytesWritten - base
+	if devWritten != bandSize+int64(len(patch)) {
+		t.Errorf("device wrote %d bytes, want band %d + cache %d", devWritten, bandSize, len(patch))
+	}
+	if awa := AWA(d); awa <= 1.0 {
+		t.Errorf("AWA = %v, want > 1 after RMW", awa)
+	}
+}
+
+func TestFixedBandCacheCoalescesCleaning(t *testing.T) {
+	// Several random writes to one band must cost a single band
+	// rewrite when cleaned, not one per write.
+	bandSize := int64(64 << 10)
+	d := NewFixedBand(newDisk(4<<20), bandSize)
+	if _, err := d.WriteAt(make([]byte, bandSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if _, err := d.WriteAt([]byte{byte(i)}, i*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.RMWCount() != 1 {
+		t.Errorf("RMWCount = %d, want 1 (coalesced cleaning)", d.RMWCount())
+	}
+	got := make([]byte, 1)
+	for i := int64(0); i < 8; i++ {
+		d.ReadAt(got, i*4096)
+		if got[0] != byte(i) {
+			t.Errorf("offset %d: got %d", i*4096, got[0])
+		}
+	}
+}
+
+func TestFixedBandCacheEvictionBound(t *testing.T) {
+	// Dirtying more than maxDirtyBands bands forces cleanings.
+	bandSize := int64(64 << 10)
+	d := NewFixedBand(newDisk(8<<20), bandSize)
+	for b := int64(0); b < 8; b++ {
+		if _, err := d.WriteAt(make([]byte, bandSize), b*bandSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := int64(0); b < 8; b++ {
+		if _, err := d.WriteAt([]byte{1}, b*bandSize+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.RMWCount(); n < 4 {
+		t.Errorf("RMWCount = %d, want >= 4 with 8 dirty bands and a 4-band cache", n)
+	}
+}
+
+func TestFixedBandRejectsWriteIntoCacheRegion(t *testing.T) {
+	d := NewFixedBand(newDisk(1<<20), 64<<10)
+	if _, err := d.WriteAt(make([]byte, 10), d.Capacity()); err == nil {
+		t.Error("write into the media cache region accepted")
+	}
+}
+
+func TestFixedBandWritePastPointerBackfills(t *testing.T) {
+	bandSize := int64(64 << 10)
+	d := NewFixedBand(newDisk(1<<20), bandSize)
+	// Write at offset 4096 of an empty band: drive must not leave a
+	// gap below the write pointer.
+	if _, err := d.WriteAt([]byte("abc"), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if wp := d.WritePointer(0); wp != 4096+3 {
+		t.Errorf("write pointer %d, want %d", wp, 4099)
+	}
+	got := make([]byte, 3)
+	d.ReadAt(got, 4096)
+	if string(got) != "abc" {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestFixedBandSpanningWrite(t *testing.T) {
+	bandSize := int64(16 << 10)
+	d := NewFixedBand(newDisk(1<<20), bandSize)
+	data := make([]byte, 3*bandSize+100)
+	rand.New(rand.NewSource(2)).Read(data)
+	if _, err := d.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.RMWCount() != 0 {
+		t.Errorf("aligned spanning write caused %d RMWs", d.RMWCount())
+	}
+	got := make([]byte, len(data))
+	d.ReadAt(got, 0)
+	if !bytes.Equal(got, data) {
+		t.Error("spanning write corrupted")
+	}
+}
+
+func TestFixedBandHostAccounting(t *testing.T) {
+	d := NewFixedBand(newDisk(1<<20), 64<<10)
+	d.WriteAt(make([]byte, 1000), 0)
+	d.WriteAt(make([]byte, 500), 1000)
+	if h := d.HostBytesWritten(); h != 1500 {
+		t.Errorf("host bytes %d, want 1500", h)
+	}
+}
+
+// --- RawDrive ---
+
+func TestRawDriveAppendStream(t *testing.T) {
+	d := NewRaw(newDisk(1<<20), 4096)
+	// Appending back-to-back never violates: the damage window of
+	// each write holds no valid data yet.
+	off := int64(0)
+	for i := 0; i < 50; i++ {
+		b := make([]byte, 1000)
+		if _, err := d.WriteAt(b, off); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		off += 1000
+	}
+	if got := AWA(d); got != 1.0 {
+		t.Errorf("AWA = %v, want exactly 1.0", got)
+	}
+	if v := d.ValidBytes(); v != 50000 {
+		t.Errorf("valid bytes %d, want 50000", v)
+	}
+	if n := len(d.ValidExtents()); n != 1 {
+		t.Errorf("appends did not merge into one extent: %d", n)
+	}
+}
+
+func TestRawDriveRejectsOverwrite(t *testing.T) {
+	d := NewRaw(newDisk(1<<20), 4096)
+	if _, err := d.WriteAt(make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.WriteAt(make([]byte, 100), 4000)
+	if err == nil {
+		t.Fatal("overwrite of valid data not rejected")
+	}
+	if _, ok := err.(*OverlapError); !ok {
+		t.Fatalf("error type %T, want *OverlapError", err)
+	}
+}
+
+func TestRawDriveRejectsDamageWindowHit(t *testing.T) {
+	guard := int64(4096)
+	d := NewRaw(newDisk(1<<20), guard)
+	// Valid data at [100000, 104096).
+	if _, err := d.WriteAt(make([]byte, 4096), 100000); err != nil {
+		t.Fatal(err)
+	}
+	// Write ending 1 byte into the guard window upstream of it: the
+	// write span [95905, 96905) is clear, but the damage window
+	// [96905, 101001) hits the valid extent.
+	if _, err := d.WriteAt(make([]byte, 1000), 95905); err == nil {
+		t.Fatal("write whose damage window hits valid data not rejected")
+	}
+	// One byte further upstream the damage window stops exactly at
+	// the valid extent: legal.
+	if _, err := d.WriteAt(make([]byte, 1000), 100000-1000-guard); err != nil {
+		t.Fatalf("write with exact guard spacing rejected: %v", err)
+	}
+}
+
+func TestRawDriveFreeEnablesReuse(t *testing.T) {
+	guard := int64(1024)
+	d := NewRaw(newDisk(1<<20), guard)
+	if _, err := d.WriteAt(make([]byte, 10000), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(make([]byte, 10000), 20000); err != nil {
+		t.Fatal(err)
+	}
+	// Reusing the first extent is illegal until freed.
+	if _, err := d.WriteAt(make([]byte, 100), 0); err == nil {
+		t.Fatal("reuse before Free not rejected")
+	}
+	if err := d.Free(0, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Now a write that fits with its guard inside the freed hole is
+	// legal ([0,8000) + guard [8000,9024) ⊂ [0,10000)).
+	if _, err := d.WriteAt(make([]byte, 8000), 0); err != nil {
+		t.Fatalf("reuse after Free rejected: %v", err)
+	}
+	// But writing right up to the downstream valid data is not:
+	// [8000, 19500) would need damage window into [19500, 20524).
+	if _, err := d.WriteAt(make([]byte, 11500), 8000); err == nil {
+		t.Fatal("write damaging downstream neighbour not rejected")
+	}
+}
+
+func TestRawDriveDamageWindowClippedAtCapacity(t *testing.T) {
+	d := NewRaw(newDisk(1<<16), 4096)
+	// Write ending exactly at capacity: damage window would run off
+	// the surface; must still be legal.
+	if _, err := d.WriteAt(make([]byte, 4096), 1<<16-4096); err != nil {
+		t.Fatalf("write at end of surface rejected: %v", err)
+	}
+}
+
+func TestRawDriveDataIntegrity(t *testing.T) {
+	d := NewRaw(newDisk(1<<20), 512)
+	rng := rand.New(rand.NewSource(5))
+	type ext struct {
+		off  int64
+		data []byte
+	}
+	var live []ext
+	off := int64(0)
+	for i := 0; i < 100; i++ {
+		b := make([]byte, 256+rng.Intn(1024))
+		rng.Read(b)
+		if _, err := d.WriteAt(b, off); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, ext{off, b})
+		off += int64(len(b))
+	}
+	for _, e := range live {
+		got := make([]byte, len(e.data))
+		d.ReadAt(got, e.off)
+		if !bytes.Equal(got, e.data) {
+			t.Fatalf("extent at %d corrupted", e.off)
+		}
+	}
+}
+
+func TestAWADefinitionOnEmptyDrive(t *testing.T) {
+	d := NewRaw(newDisk(1<<16), 0)
+	if AWA(d) != 1.0 {
+		t.Error("AWA of an unused drive should be 1.0")
+	}
+}

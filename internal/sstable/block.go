@@ -1,0 +1,275 @@
+// Package sstable implements the on-disk table format of the store,
+// closely following LevelDB: prefix-compressed data blocks with
+// restart points and per-block CRCs, an index block of separators, a
+// whole-table bloom filter, and a fixed footer. Tables are built in
+// memory and written to the device as one sequential extent by the
+// storage backend.
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sealdb/internal/kv"
+)
+
+// restartInterval is the number of entries between restart points.
+const restartInterval = 16
+
+// blockBuilder encodes a sequence of key/value entries with shared
+// key-prefix compression.
+type blockBuilder struct {
+	buf      []byte
+	restarts []uint32
+	counter  int
+	lastKey  []byte
+	entries  int
+}
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.entries = 0
+}
+
+func (b *blockBuilder) add(key, value []byte) {
+	shared := 0
+	if b.counter < restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.entries++
+}
+
+func (b *blockBuilder) empty() bool { return b.entries == 0 }
+
+// estimatedSize returns the finished size of the block so far.
+func (b *blockBuilder) estimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// finish appends the restart array and count and returns the block
+// contents (valid until the next reset).
+func (b *blockBuilder) finish() []byte {
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+// block is a decoded (raw) block ready for iteration.
+type block struct {
+	data     []byte // entries only
+	restarts []uint32
+}
+
+func decodeBlock(data []byte) (*block, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("sstable: block too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[len(data)-4:])
+	restartsEnd := len(data) - 4
+	restartsStart := restartsEnd - int(n)*4
+	if n == 0 || restartsStart < 0 {
+		return nil, fmt.Errorf("sstable: bad restart count %d for %d-byte block", n, len(data))
+	}
+	restarts := make([]uint32, n)
+	for i := range restarts {
+		restarts[i] = binary.LittleEndian.Uint32(data[restartsStart+4*i:])
+		if int(restarts[i]) > restartsStart {
+			return nil, fmt.Errorf("sstable: restart %d out of range", restarts[i])
+		}
+	}
+	return &block{data: data[:restartsStart], restarts: restarts}, nil
+}
+
+// blockIter iterates a decoded block. It implements kv.Iterator.
+type blockIter struct {
+	b      *block
+	offset int // offset of the current entry in b.data
+	next   int // offset just past the current entry
+	key    []byte
+	value  []byte
+	valid  bool
+	err    error
+}
+
+func newBlockIter(b *block) *blockIter { return &blockIter{b: b} }
+
+func (it *blockIter) Valid() bool         { return it.valid && it.err == nil }
+func (it *blockIter) Error() error        { return it.err }
+func (it *blockIter) Key() kv.InternalKey { return it.key }
+func (it *blockIter) Value() []byte       { return it.value }
+
+func (it *blockIter) SeekToFirst() {
+	it.next = 0
+	it.key = it.key[:0]
+	it.parseNext()
+}
+
+func (it *blockIter) Next() {
+	it.parseNext()
+}
+
+// parseNext decodes the entry at it.next.
+func (it *blockIter) parseNext() {
+	if it.err != nil {
+		it.valid = false
+		return
+	}
+	if it.next >= len(it.b.data) {
+		it.valid = false
+		return
+	}
+	it.offset = it.next
+	p := it.b.data[it.next:]
+	shared, n1 := binary.Uvarint(p)
+	if n1 <= 0 {
+		it.corrupt("bad shared varint")
+		return
+	}
+	unshared, n2 := binary.Uvarint(p[n1:])
+	if n2 <= 0 {
+		it.corrupt("bad unshared varint")
+		return
+	}
+	vlen, n3 := binary.Uvarint(p[n1+n2:])
+	if n3 <= 0 {
+		it.corrupt("bad value-length varint")
+		return
+	}
+	h := n1 + n2 + n3
+	if int(shared) > len(it.key) || h+int(unshared)+int(vlen) > len(p) {
+		it.corrupt("entry overruns block")
+		return
+	}
+	it.key = append(it.key[:shared], p[h:h+int(unshared)]...)
+	it.value = p[h+int(unshared) : h+int(unshared)+int(vlen)]
+	it.next += h + int(unshared) + int(vlen)
+	it.valid = true
+}
+
+func (it *blockIter) corrupt(msg string) {
+	it.err = fmt.Errorf("sstable: corrupt block entry at %d: %s", it.next, msg)
+	it.valid = false
+}
+
+// seekToRestart positions parsing at restart point i.
+func (it *blockIter) seekToRestart(i int) {
+	it.next = int(it.b.restarts[i])
+	it.key = it.key[:0]
+	it.parseNext()
+}
+
+// SeekToLast positions at the final entry of the block.
+func (it *blockIter) SeekToLast() {
+	if len(it.b.restarts) == 0 {
+		it.valid = false
+		return
+	}
+	it.seekToRestart(len(it.b.restarts) - 1)
+	for it.Valid() && it.next < len(it.b.data) {
+		it.parseNext()
+	}
+}
+
+// Prev steps to the entry before the current one by re-parsing from
+// the governing restart point, LevelDB's approach: prefix compression
+// makes blocks forward-only, so backward movement replays a short
+// run.
+func (it *blockIter) Prev() {
+	if !it.Valid() {
+		return
+	}
+	target := it.offset
+	if target == 0 {
+		it.valid = false
+		return
+	}
+	// Find the last restart strictly before the current entry.
+	ri := sort.Search(len(it.b.restarts), func(i int) bool {
+		return int(it.b.restarts[i]) >= target
+	})
+	if ri > 0 {
+		ri--
+	}
+	it.seekToRestart(ri)
+	for it.Valid() && it.next < target {
+		it.parseNext()
+	}
+	if it.offset >= target {
+		// The restart itself was the current entry's offset and
+		// nothing precedes it (corrupt restarts otherwise).
+		it.valid = false
+	}
+}
+
+// Seek positions at the first entry with key >= target.
+func (it *blockIter) Seek(target kv.InternalKey) {
+	// Binary search the restart points for the last restart whose
+	// key is < target.
+	i := sort.Search(len(it.b.restarts), func(i int) bool {
+		k, ok := it.restartKey(i)
+		if !ok {
+			return true // treat corruption as >= to stop early
+		}
+		return kv.CompareInternal(k, target) >= 0
+	})
+	if i > 0 {
+		i--
+	}
+	it.seekToRestart(i)
+	for it.Valid() && kv.CompareInternal(it.key, target) < 0 {
+		it.parseNext()
+	}
+}
+
+// restartKey decodes the full key stored at restart point i (shared
+// prefix is always zero at a restart).
+func (it *blockIter) restartKey(i int) (kv.InternalKey, bool) {
+	p := it.b.data[it.b.restarts[i]:]
+	shared, n1 := binary.Uvarint(p)
+	if n1 <= 0 || shared != 0 {
+		return nil, false
+	}
+	unshared, n2 := binary.Uvarint(p[n1:])
+	if n2 <= 0 {
+		return nil, false
+	}
+	_, n3 := binary.Uvarint(p[n1+n2:])
+	if n3 <= 0 {
+		return nil, false
+	}
+	h := n1 + n2 + n3
+	if h+int(unshared) > len(p) {
+		return nil, false
+	}
+	return kv.InternalKey(p[h : h+int(unshared)]), true
+}
+
+var _ kv.Iterator = (*blockIter)(nil)

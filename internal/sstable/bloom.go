@@ -1,0 +1,90 @@
+package sstable
+
+import "encoding/binary"
+
+// bloomBitsPerKey matches LevelDB's default filter policy (10 bits
+// per key, ~1% false positives).
+const bloomBitsPerKey = 10
+
+// bloomHash is the hash LevelDB's bloom filter uses (a Murmur-like
+// mixing of the key).
+func bloomHash(key []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(key))*m
+	for len(key) >= 4 {
+		h += binary.LittleEndian.Uint32(key)
+		h *= m
+		h ^= h >> 16
+		key = key[4:]
+	}
+	switch len(key) {
+	case 3:
+		h += uint32(key[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(key[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(key[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// buildBloom creates a filter block over n keys fed through add. The
+// last byte stores the probe count.
+func buildBloom(keys [][]byte) []byte {
+	k := uint8(bloomBitsPerKey * 69 / 100) // bitsPerKey * ln2
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(keys) * bloomBitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nbytes := (bits + 7) / 8
+	bits = nbytes * 8
+	filter := make([]byte, nbytes+1)
+	filter[nbytes] = k
+	for _, key := range keys {
+		h := bloomHash(key)
+		delta := h>>17 | h<<15
+		for i := uint8(0); i < k; i++ {
+			pos := h % uint32(bits)
+			filter[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return filter
+}
+
+// bloomMayContain tests key against a filter produced by buildBloom.
+// An empty or malformed filter conservatively returns true.
+func bloomMayContain(filter, key []byte) bool {
+	if len(filter) < 2 {
+		return true
+	}
+	nbytes := len(filter) - 1
+	bits := uint32(nbytes * 8)
+	k := filter[nbytes]
+	if k > 30 {
+		return true // reserved for future encodings
+	}
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for i := uint8(0); i < k; i++ {
+		pos := h % bits
+		if filter[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

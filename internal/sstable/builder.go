@@ -1,0 +1,216 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"sealdb/internal/kv"
+)
+
+const (
+	// targetBlockSize is the uncompressed data-block cut threshold.
+	targetBlockSize = 4096
+	// blockTrailerLen is 1 type byte (always 0: no compression) plus
+	// a CRC-32C of the block contents.
+	blockTrailerLen = 5
+	// footerLen holds four fixed 8-byte handle fields plus the magic.
+	footerLen  = 40
+	tableMagic = 0x5ea1db0000000001
+)
+
+// Meta describes a finished table.
+type Meta struct {
+	Smallest kv.InternalKey
+	Largest  kv.InternalKey
+	Entries  int
+	Size     int64
+}
+
+// Builder accumulates sorted entries and produces the table bytes.
+// Keys must be added in strictly increasing internal-key order.
+type Builder struct {
+	compression   Compression
+	buf           []byte
+	data          blockBuilder
+	index         blockBuilder
+	userKeys      [][]byte // for the table bloom filter
+	meta          Meta
+	lastKey       kv.InternalKey
+	pendingIx     bool   // an index entry is owed for the last finished block
+	pendingKey    []byte // separator key for the pending entry
+	pendingHandle blockHandle
+	err           error
+}
+
+type blockHandle struct {
+	offset, length uint64
+}
+
+func encodeHandle(dst []byte, h blockHandle) []byte {
+	dst = binary.AppendUvarint(dst, h.offset)
+	return binary.AppendUvarint(dst, h.length)
+}
+
+func decodeHandle(p []byte) (blockHandle, int, error) {
+	off, n1 := binary.Uvarint(p)
+	if n1 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("sstable: bad handle offset")
+	}
+	length, n2 := binary.Uvarint(p[n1:])
+	if n2 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("sstable: bad handle length")
+	}
+	return blockHandle{off, length}, n1 + n2, nil
+}
+
+// NewBuilder returns an empty table builder storing blocks raw.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// SetCompression selects the block encoding for subsequently cut
+// blocks (call before the first Add for uniform tables).
+func (b *Builder) SetCompression(c Compression) *Builder {
+	b.compression = c
+	return b
+}
+
+// Add appends an entry. Keys must arrive in strictly increasing
+// order; violations put the builder in an error state.
+func (b *Builder) Add(ik kv.InternalKey, value []byte) {
+	if b.err != nil {
+		return
+	}
+	if b.lastKey != nil && kv.CompareInternal(ik, b.lastKey) <= 0 {
+		b.err = fmt.Errorf("sstable: keys out of order: %s after %s", ik, b.lastKey)
+		return
+	}
+	if b.meta.Entries == 0 {
+		b.meta.Smallest = ik.Clone()
+	}
+	b.flushPendingIndex(ik)
+	b.data.add(ik, value)
+	b.lastKey = append(b.lastKey[:0], ik...)
+	b.userKeys = append(b.userKeys, append([]byte(nil), ik.UserKey()...))
+	b.meta.Entries++
+	if b.data.estimatedSize() >= targetBlockSize {
+		b.cutBlock()
+	}
+}
+
+// flushPendingIndex emits the index entry for the previous block once
+// the first key of the next block is known, shortening the separator
+// on the user-key portion as LevelDB does.
+func (b *Builder) flushPendingIndex(next kv.InternalKey) {
+	if !b.pendingIx {
+		return
+	}
+	sep := separator(b.pendingKey, next)
+	var hbuf [2 * binary.MaxVarintLen64]byte
+	b.index.add(sep, encodeHandle(hbuf[:0], b.pendingHandle))
+	b.pendingIx = false
+}
+
+// separator returns an internal key k with prev <= k < next that is
+// as short as possible on the user-key portion.
+func separator(prev kv.InternalKey, next kv.InternalKey) kv.InternalKey {
+	a, bkey := prev.UserKey(), next.UserKey()
+	n := len(a)
+	if len(bkey) < n {
+		n = len(bkey)
+	}
+	i := 0
+	for i < n && a[i] == bkey[i] {
+		i++
+	}
+	if i < n && a[i] < 0xff && a[i]+1 < bkey[i] {
+		// a[:i+1] with its last byte incremented separates: give it
+		// the max trailer so it sorts before every real entry for
+		// that user key.
+		short := append([]byte(nil), a[:i+1]...)
+		short[i]++
+		return kv.MakeSearchKey(nil, short, kv.MaxSeqNum)
+	}
+	return prev.Clone()
+}
+
+// cutBlock finishes the current data block and records its handle.
+func (b *Builder) cutBlock() {
+	if b.data.empty() {
+		return
+	}
+	contents := b.data.finish()
+	h := b.appendBlock(contents, b.compression)
+	b.data.reset()
+	b.pendingIx = true
+	b.pendingKey = append(b.pendingKey[:0], b.lastKey...)
+	b.pendingHandle = h
+}
+
+// appendRawBlock writes contents plus the type/CRC trailer to buf,
+// without compression (index, bloom).
+func (b *Builder) appendRawBlock(contents []byte) blockHandle {
+	return b.appendBlock(contents, NoCompression)
+}
+
+// appendBlock encodes contents per policy and writes it with its
+// type/CRC trailer.
+func (b *Builder) appendBlock(contents []byte, policy Compression) blockHandle {
+	payload, typ := compressBlock(policy, contents)
+	h := blockHandle{offset: uint64(len(b.buf)), length: uint64(len(payload))}
+	b.buf = append(b.buf, payload...)
+	crc := crc32.Checksum(payload, castagnoliTable)
+	crc = crc32.Update(crc, castagnoliTable, []byte{typ})
+	b.buf = append(b.buf, typ)
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crc)
+	return h
+}
+
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EstimatedSize returns the table size if Finish were called now.
+func (b *Builder) EstimatedSize() int64 {
+	return int64(len(b.buf)) + int64(b.data.estimatedSize()) + int64(b.index.estimatedSize()) + footerLen
+}
+
+// Entries returns the number of entries added so far.
+func (b *Builder) Entries() int { return b.meta.Entries }
+
+// Empty reports whether nothing has been added.
+func (b *Builder) Empty() bool { return b.meta.Entries == 0 }
+
+// Finish completes the table and returns its bytes and metadata. The
+// builder cannot be reused afterwards.
+func (b *Builder) Finish() ([]byte, Meta, error) {
+	if b.err != nil {
+		return nil, Meta{}, b.err
+	}
+	if b.meta.Entries == 0 {
+		return nil, Meta{}, fmt.Errorf("sstable: finishing an empty table")
+	}
+	b.cutBlock()
+	// Final index entry: any key >= lastKey works as its own
+	// separator at end of table.
+	if b.pendingIx {
+		var hbuf [2 * binary.MaxVarintLen64]byte
+		b.index.add(b.pendingKey, encodeHandle(hbuf[:0], b.pendingHandle))
+		b.pendingIx = false
+	}
+
+	bloom := buildBloom(b.userKeys)
+	bloomHandle := b.appendRawBlock(bloom)
+	indexHandle := b.appendRawBlock(b.index.finish())
+
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexHandle.offset)
+	binary.LittleEndian.PutUint64(footer[8:], indexHandle.length)
+	binary.LittleEndian.PutUint64(footer[16:], bloomHandle.offset)
+	binary.LittleEndian.PutUint64(footer[24:], bloomHandle.length)
+	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
+	b.buf = append(b.buf, footer[:]...)
+
+	b.meta.Largest = b.lastKey.Clone()
+	b.meta.Size = int64(len(b.buf))
+	return b.buf, b.meta, nil
+}

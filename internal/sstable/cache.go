@@ -1,0 +1,112 @@
+package sstable
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a shared LRU cache of decoded blocks, keyed by (file
+// number, block offset). One cache serves all tables of a DB, like
+// LevelDB's block cache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	file   uint64
+	offset uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	block *block
+	size  int64
+}
+
+// NewCache creates a cache bounded to capacity bytes of block data.
+// A nil cache is valid and caches nothing.
+func NewCache(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *Cache) get(file, offset uint64) *block {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[cacheKey{file, offset}]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).block
+	}
+	c.misses++
+	return nil
+}
+
+func (c *Cache) put(file, offset uint64, b *block) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{file, offset}
+	if _, ok := c.items[k]; ok {
+		return
+	}
+	size := int64(len(b.data)) + int64(4*len(b.restarts)) + 64
+	e := &cacheEntry{key: k, block: b, size: size}
+	c.items[k] = c.ll.PushFront(e)
+	c.used += size
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		last := c.ll.Back()
+		ent := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.items, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// EvictFile drops every cached block of the given file (called when a
+// table is deleted).
+func (c *Cache) EvictFile(file uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.file == file {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			c.used -= ent.size
+		}
+		el = next
+	}
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (c *Cache) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

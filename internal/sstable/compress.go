@@ -1,0 +1,77 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Compression selects the block encoding. LevelDB ships snappy; the
+// stdlib equivalent here is DEFLATE at the fastest setting. Blocks
+// that do not shrink by at least 1/8 are stored raw, as LevelDB does.
+type Compression uint8
+
+const (
+	// NoCompression stores blocks raw (type byte 0).
+	NoCompression Compression = 0
+	// FlateCompression DEFLATEs data blocks (type byte 1).
+	FlateCompression Compression = 1
+)
+
+func (c Compression) String() string {
+	switch c {
+	case NoCompression:
+		return "none"
+	case FlateCompression:
+		return "flate"
+	}
+	return fmt.Sprintf("Compression(%d)", uint8(c))
+}
+
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// compressBlock encodes contents per the policy and returns the block
+// payload plus the type byte actually used (compression falls back to
+// raw when it does not pay).
+func compressBlock(policy Compression, contents []byte) ([]byte, byte) {
+	if policy != FlateCompression {
+		return contents, byte(NoCompression)
+	}
+	var buf bytes.Buffer
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	if _, err := w.Write(contents); err == nil {
+		if err := w.Close(); err == nil {
+			if buf.Len() < len(contents)-len(contents)/8 {
+				flateWriters.Put(w)
+				return buf.Bytes(), byte(FlateCompression)
+			}
+		}
+	}
+	flateWriters.Put(w)
+	return contents, byte(NoCompression)
+}
+
+// decompressBlock decodes a block payload according to its type byte.
+func decompressBlock(typ byte, payload []byte) ([]byte, error) {
+	switch Compression(typ) {
+	case NoCompression:
+		return payload, nil
+	case FlateCompression:
+		r := flate.NewReader(bytes.NewReader(payload))
+		defer r.Close()
+		out, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: inflating block: %w", err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sstable: unknown block type %d", typ)
+}

@@ -1,0 +1,163 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sealdb/internal/kv"
+)
+
+func TestCompressBlockRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		payload, typ := compressBlock(FlateCompression, data)
+		out, err := decompressBlock(typ, payload)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionFallsBackOnIncompressible(t *testing.T) {
+	random := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(random)
+	payload, typ := compressBlock(FlateCompression, random)
+	if typ != byte(NoCompression) {
+		t.Errorf("incompressible data stored with type %d", typ)
+	}
+	if !bytes.Equal(payload, random) {
+		t.Error("fallback altered the payload")
+	}
+
+	compressible := bytes.Repeat([]byte("abcdefgh"), 512)
+	payload, typ = compressBlock(FlateCompression, compressible)
+	if typ != byte(FlateCompression) {
+		t.Error("highly compressible data not compressed")
+	}
+	if len(payload) >= len(compressible) {
+		t.Error("compression did not shrink the block")
+	}
+}
+
+func TestNoCompressionPolicyIsRaw(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 1000)
+	payload, typ := compressBlock(NoCompression, data)
+	if typ != byte(NoCompression) || !bytes.Equal(payload, data) {
+		t.Error("NoCompression policy modified the block")
+	}
+}
+
+func TestDecompressUnknownType(t *testing.T) {
+	if _, err := decompressBlock(99, []byte("x")); err == nil {
+		t.Error("unknown block type accepted")
+	}
+}
+
+func TestCompressedTableRoundTrip(t *testing.T) {
+	// Build a table with highly compressible values under the flate
+	// policy and verify every read path.
+	b := NewBuilder().SetCompression(FlateCompression)
+	const n = 2000
+	want := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		v := fmt.Sprintf("value-%06d-%s", i, bytes.Repeat([]byte("pad"), 40))
+		want[k] = v
+		b.Add(kv.MakeInternalKey(nil, []byte(k), kv.SeqNum(i+1), kv.KindSet), []byte(v))
+	}
+	data, meta, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A same-content uncompressed table must be larger.
+	b2 := NewBuilder()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		b2.Add(kv.MakeInternalKey(nil, []byte(k), kv.SeqNum(i+1), kv.KindSet), []byte(want[k]))
+	}
+	raw, _, err := b2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) >= int64(len(raw)) {
+		t.Errorf("compressed table %d not smaller than raw %d", len(data), len(raw))
+	}
+
+	tbl, err := Open(bytes.NewReader(data), meta.Size, 1, NewCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		got, _, ok, err := tbl.Get([]byte(k), kv.MaxSeqNum)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q ok=%v err=%v", k, got, ok, err)
+		}
+	}
+	it := tbl.NewIterator()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("iterated %d entries, want %d", count, n)
+	}
+
+	// The compaction iterator (no cache, readahead) also decodes
+	// compressed blocks.
+	cit := tbl.NewCompactionIterator(64 * 1024)
+	count = 0
+	for cit.SeekToFirst(); cit.Valid(); cit.Next() {
+		count++
+	}
+	if cit.Error() != nil || count != n {
+		t.Fatalf("compaction iterator saw %d entries (err %v)", count, cit.Error())
+	}
+}
+
+func TestCompressedBlockCorruptionDetected(t *testing.T) {
+	b := NewBuilder().SetCompression(FlateCompression)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		b.Add(kv.MakeInternalKey(nil, []byte(k), kv.SeqNum(i+1), kv.KindSet),
+			bytes.Repeat([]byte("v"), 200))
+	}
+	data, _, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[50] ^= 0xff
+	tbl, err := Open(bytes.NewReader(data), int64(len(data)), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if _, _, _, err := tbl.Get([]byte(k), kv.MaxSeqNum); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("corrupted compressed block never reported")
+	}
+}
+
+func TestCompressionString(t *testing.T) {
+	if NoCompression.String() != "none" || FlateCompression.String() != "flate" {
+		t.Error("Compression.String mismatch")
+	}
+	if Compression(7).String() != "Compression(7)" {
+		t.Error("unknown compression string")
+	}
+}

@@ -1,0 +1,335 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sealdb/internal/kv"
+)
+
+// Table reads a finished SSTable through an io.ReaderAt.
+type Table struct {
+	r       io.ReaderAt
+	size    int64
+	fileNum uint64
+	cache   *Cache
+
+	index *block
+	bloom []byte
+}
+
+// Open validates the footer and loads the index and bloom blocks.
+func Open(r io.ReaderAt, size int64, fileNum uint64, cache *Cache) (*Table, error) {
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: file %d too small (%d bytes)", fileNum, size)
+	}
+	var footer [footerLen]byte
+	if _, err := r.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("sstable: reading footer of file %d: %w", fileNum, err)
+	}
+	if magic := binary.LittleEndian.Uint64(footer[32:]); magic != tableMagic {
+		return nil, fmt.Errorf("sstable: bad magic %#x in file %d", magic, fileNum)
+	}
+	t := &Table{r: r, size: size, fileNum: fileNum, cache: cache}
+	indexHandle := blockHandle{
+		offset: binary.LittleEndian.Uint64(footer[0:]),
+		length: binary.LittleEndian.Uint64(footer[8:]),
+	}
+	bloomHandle := blockHandle{
+		offset: binary.LittleEndian.Uint64(footer[16:]),
+		length: binary.LittleEndian.Uint64(footer[24:]),
+	}
+	raw, err := t.readRaw(bloomHandle)
+	if err != nil {
+		return nil, err
+	}
+	t.bloom = raw
+	idx, err := t.readBlock(indexHandle)
+	if err != nil {
+		return nil, err
+	}
+	t.index = idx
+	return t, nil
+}
+
+// readRaw fetches and CRC-checks a raw block (no decode).
+func (t *Table) readRaw(h blockHandle) ([]byte, error) {
+	return t.readRawFrom(t.r, h)
+}
+
+func (t *Table) readRawFrom(r io.ReaderAt, h blockHandle) ([]byte, error) {
+	if h.offset+h.length+blockTrailerLen > uint64(t.size) {
+		return nil, fmt.Errorf("sstable: handle %+v outside file %d", h, t.fileNum)
+	}
+	buf := make([]byte, h.length+blockTrailerLen)
+	if _, err := r.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, fmt.Errorf("sstable: reading block of file %d: %w", t.fileNum, err)
+	}
+	contents := buf[:h.length]
+	typ := buf[h.length]
+	wantCRC := binary.LittleEndian.Uint32(buf[h.length+1:])
+	crc := crc32.Checksum(contents, castagnoliTable)
+	crc = crc32.Update(crc, castagnoliTable, []byte{typ})
+	if crc != wantCRC {
+		return nil, fmt.Errorf("sstable: block checksum mismatch in file %d at %d", t.fileNum, h.offset)
+	}
+	out, err := decompressBlock(typ, contents)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: file %d at %d: %w", t.fileNum, h.offset, err)
+	}
+	return out, nil
+}
+
+// readBlock fetches a data/index block through the cache.
+func (t *Table) readBlock(h blockHandle) (*block, error) {
+	if b := t.cache.get(t.fileNum, h.offset); b != nil {
+		return b, nil
+	}
+	raw, err := t.readRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	b, err := decodeBlock(raw)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: file %d: %w", t.fileNum, err)
+	}
+	t.cache.put(t.fileNum, h.offset, b)
+	return b, nil
+}
+
+// Get returns the entry for ukey visible at snapshot seq.
+func (t *Table) Get(ukey []byte, seq kv.SeqNum) (value []byte, deleted, ok bool, err error) {
+	v, _, kind, ok, err := t.GetEntry(ukey, seq)
+	return v, ok && kind == kv.KindDelete, ok, err
+}
+
+// GetEntry returns the newest entry for ukey visible at snapshot seq,
+// together with its sequence number and kind; callers reading
+// overlapped levels compare sequence numbers across tables.
+func (t *Table) GetEntry(ukey []byte, seq kv.SeqNum) (value []byte, foundSeq kv.SeqNum, kind kv.Kind, ok bool, err error) {
+	if !bloomMayContain(t.bloom, ukey) {
+		return nil, 0, 0, false, nil
+	}
+	var buf [64]byte
+	search := kv.MakeSearchKey(buf[:0], ukey, seq)
+	ixIter := newBlockIter(t.index)
+	ixIter.Seek(search)
+	if !ixIter.Valid() {
+		return nil, 0, 0, false, ixIter.Error()
+	}
+	h, _, err := decodeHandle(ixIter.Value())
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	b, err := t.readBlock(h)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	it := newBlockIter(b)
+	it.Seek(search)
+	if !it.Valid() {
+		return nil, 0, 0, false, it.Error()
+	}
+	ik := it.Key()
+	if kv.CompareUser(ik.UserKey(), ukey) != 0 {
+		return nil, 0, 0, false, nil
+	}
+	if ik.Kind() == kv.KindDelete {
+		return nil, ik.Seq(), kv.KindDelete, true, nil
+	}
+	return append([]byte(nil), it.Value()...), ik.Seq(), ik.Kind(), true, nil
+}
+
+// NewIterator returns a two-level iterator over the whole table.
+func (t *Table) NewIterator() kv.Iterator {
+	return &tableIter{t: t, ix: newBlockIter(t.index)}
+}
+
+// NewCompactionIterator returns an iterator for compaction input
+// scans: it bypasses the block cache (LevelDB's fill_cache=false)
+// and reads through a readahead window of the given size, modeling
+// the OS readahead a streaming merge enjoys on each input file.
+func (t *Table) NewCompactionIterator(readahead int) kv.Iterator {
+	it := &tableIter{t: t, ix: newBlockIter(t.index), nocache: true}
+	if readahead > 0 {
+		it.src = &readaheadReader{r: t.r, window: readahead}
+	}
+	return it
+}
+
+// readaheadReader serves ReadAt from a single sliding window, hitting
+// the underlying reader once per window.
+type readaheadReader struct {
+	r      io.ReaderAt
+	window int
+	buf    []byte
+	off    int64 // file offset of buf[0]
+}
+
+// ReadAt implements io.ReaderAt.
+func (ra *readaheadReader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= ra.off && off+int64(len(p)) <= ra.off+int64(len(ra.buf)) {
+		copy(p, ra.buf[off-ra.off:])
+		return len(p), nil
+	}
+	n := ra.window
+	if n < len(p) {
+		n = len(p)
+	}
+	buf := make([]byte, n)
+	m, err := ra.r.ReadAt(buf, off)
+	if err == io.EOF && m >= len(p) {
+		err = nil
+	}
+	if err != nil && m < len(p) {
+		return 0, err
+	}
+	ra.buf = buf[:m]
+	ra.off = off
+	copy(p, ra.buf)
+	return len(p), nil
+}
+
+// tableIter chains the index iterator with per-block data iterators.
+type tableIter struct {
+	t       *Table
+	ix      *blockIter
+	data    *blockIter
+	err     error
+	nocache bool
+	src     io.ReaderAt // non-nil: read data blocks through this
+}
+
+func (it *tableIter) Valid() bool {
+	return it.err == nil && it.data != nil && it.data.Valid()
+}
+
+func (it *tableIter) Error() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.data != nil && it.data.Error() != nil {
+		return it.data.Error()
+	}
+	return it.ix.Error()
+}
+
+func (it *tableIter) loadBlock() {
+	it.data = nil
+	if !it.ix.Valid() {
+		return
+	}
+	h, _, err := decodeHandle(it.ix.Value())
+	if err != nil {
+		it.err = err
+		return
+	}
+	var b *block
+	if it.nocache {
+		src := it.src
+		if src == nil {
+			src = it.t.r
+		}
+		raw, err := it.t.readRawFrom(src, h)
+		if err == nil {
+			b, err = decodeBlock(raw)
+		}
+		if err != nil {
+			it.err = err
+			return
+		}
+	} else {
+		b, err = it.t.readBlock(h)
+		if err != nil {
+			it.err = err
+			return
+		}
+	}
+	it.data = newBlockIter(b)
+}
+
+func (it *tableIter) SeekToFirst() {
+	it.err = nil
+	it.ix.SeekToFirst()
+	it.loadBlock()
+	if it.data != nil {
+		it.data.SeekToFirst()
+	}
+	it.skipEmptyBlocks()
+}
+
+func (it *tableIter) Seek(target kv.InternalKey) {
+	it.err = nil
+	it.ix.Seek(target)
+	it.loadBlock()
+	if it.data != nil {
+		it.data.Seek(target)
+	}
+	it.skipEmptyBlocks()
+}
+
+func (it *tableIter) SeekToLast() {
+	it.err = nil
+	it.ix.SeekToLast()
+	it.loadBlock()
+	if it.data != nil {
+		it.data.SeekToLast()
+	}
+	it.skipEmptyBlocksBackward()
+}
+
+func (it *tableIter) Next() {
+	it.data.Next()
+	it.skipEmptyBlocks()
+}
+
+func (it *tableIter) Prev() {
+	it.data.Prev()
+	it.skipEmptyBlocksBackward()
+}
+
+// skipEmptyBlocksBackward retreats to the previous non-exhausted
+// data block.
+func (it *tableIter) skipEmptyBlocksBackward() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Error() != nil {
+			it.err = it.data.Error()
+			return
+		}
+		if !it.ix.Valid() {
+			it.data = nil
+			return
+		}
+		it.ix.Prev()
+		it.loadBlock()
+		if it.data != nil {
+			it.data.SeekToLast()
+		}
+	}
+}
+
+// skipEmptyBlocks advances to the next non-exhausted data block.
+func (it *tableIter) skipEmptyBlocks() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Error() != nil {
+			it.err = it.data.Error()
+			return
+		}
+		if !it.ix.Valid() {
+			it.data = nil
+			return
+		}
+		it.ix.Next()
+		it.loadBlock()
+		if it.data != nil {
+			it.data.SeekToFirst()
+		}
+	}
+}
+
+func (it *tableIter) Key() kv.InternalKey { return it.data.Key() }
+func (it *tableIter) Value() []byte       { return it.data.Value() }
+
+var _ kv.Iterator = (*tableIter)(nil)

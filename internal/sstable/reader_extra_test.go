@@ -1,0 +1,198 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sealdb/internal/kv"
+)
+
+// TestIteratorRandomWalkAgainstReference: random SeekToFirst / Seek /
+// Next schedules must agree with a sorted in-memory reference.
+func TestIteratorRandomWalkAgainstReference(t *testing.T) {
+	entries := genEntries(1500, 77)
+	data, _ := buildTable(t, entries)
+	tbl, err := Open(bytes.NewReader(data), int64(len(data)), 1, NewCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rng := rand.New(rand.NewSource(3))
+	it := tbl.NewIterator()
+	ref := -1 // current index into keys; -1 = invalid
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			it.SeekToFirst()
+			ref = 0
+		case 1:
+			it.SeekToLast()
+			ref = len(keys) - 1
+		case 2:
+			target := fmt.Sprintf("key%08d", rng.Intn(16000))
+			it.Seek(kv.MakeSearchKey(nil, []byte(target), kv.MaxSeqNum))
+			ref = sort.SearchStrings(keys, target)
+		case 3:
+			if ref >= 0 && ref < len(keys) {
+				it.Prev()
+				ref--
+				if ref < 0 {
+					if it.Valid() {
+						t.Fatalf("step %d: Prev past start left iterator at %q", step, it.Key().UserKey())
+					}
+					ref = -1
+					continue
+				}
+			} else {
+				continue
+			}
+		default:
+			if ref >= 0 && ref < len(keys) {
+				it.Next()
+				ref++
+			} else {
+				continue
+			}
+		}
+		if ref >= len(keys) {
+			if it.Valid() {
+				t.Fatalf("step %d: iterator valid at %q, reference exhausted", step, it.Key().UserKey())
+			}
+			ref = -1
+			continue
+		}
+		if !it.Valid() {
+			t.Fatalf("step %d: iterator invalid, reference at %q", step, keys[ref])
+		}
+		if got := string(it.Key().UserKey()); got != keys[ref] {
+			t.Fatalf("step %d: iterator at %q, reference at %q", step, got, keys[ref])
+		}
+		if string(it.Value()) != entries[keys[ref]] {
+			t.Fatalf("step %d: value mismatch at %q", step, keys[ref])
+		}
+	}
+}
+
+// TestCompactionIteratorMatchesNormal: the no-cache/readahead iterator
+// must yield the identical sequence.
+func TestCompactionIteratorMatchesNormal(t *testing.T) {
+	entries := genEntries(2000, 88)
+	data, _ := buildTable(t, entries)
+	tbl, err := Open(bytes.NewReader(data), int64(len(data)), 1, NewCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{0, 1, 4096, 128 * 1024, 10 << 20} {
+		a := tbl.NewIterator()
+		b := tbl.NewCompactionIterator(window)
+		a.SeekToFirst()
+		b.SeekToFirst()
+		for a.Valid() || b.Valid() {
+			if a.Valid() != b.Valid() {
+				t.Fatalf("window %d: validity diverged", window)
+			}
+			if kv.CompareInternal(a.Key(), b.Key()) != 0 || !bytes.Equal(a.Value(), b.Value()) {
+				t.Fatalf("window %d: entries diverged at %s", window, a.Key())
+			}
+			a.Next()
+			b.Next()
+		}
+		if b.Error() != nil {
+			t.Fatalf("window %d: %v", window, b.Error())
+		}
+	}
+}
+
+// trackingReader counts ReadAt calls to verify readahead batching.
+type trackingReader struct {
+	r     io.ReaderAt
+	calls int
+}
+
+func (tr *trackingReader) ReadAt(p []byte, off int64) (int, error) {
+	tr.calls++
+	return tr.r.ReadAt(p, off)
+}
+
+func TestReadaheadReducesUnderlyingReads(t *testing.T) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(9)).Read(data)
+
+	direct := &trackingReader{r: bytes.NewReader(data)}
+	buf := make([]byte, 4096)
+	for off := int64(0); off+4096 <= int64(len(data)); off += 4096 {
+		direct.ReadAt(buf, off)
+	}
+
+	tracked := &trackingReader{r: bytes.NewReader(data)}
+	ra := &readaheadReader{r: tracked, window: 128 * 1024}
+	out := make([]byte, 4096)
+	for off := int64(0); off+4096 <= int64(len(data)); off += 4096 {
+		if _, err := ra.ReadAt(out, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data[off:off+4096]) {
+			t.Fatalf("readahead corrupted data at %d", off)
+		}
+	}
+	if tracked.calls >= direct.calls/16 {
+		t.Errorf("readahead made %d underlying reads vs %d direct; window not effective",
+			tracked.calls, direct.calls)
+	}
+}
+
+func TestReadaheadReaderEdgeCases(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	ra := &readaheadReader{r: bytes.NewReader(data), window: 8}
+
+	// Read crossing EOF within the window: the window shrinks.
+	p := make([]byte, 4)
+	if _, err := ra.ReadAt(p, 12); err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "cdef" {
+		t.Errorf("tail read %q", p)
+	}
+	// Request larger than the window.
+	big := make([]byte, 12)
+	if _, err := ra.ReadAt(big, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(big) != "0123456789ab" {
+		t.Errorf("oversized read %q", big)
+	}
+	// Backwards read after a forward window.
+	if _, err := ra.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "0123" {
+		t.Errorf("backward read %q", p)
+	}
+	// Read fully past EOF errors.
+	if _, err := ra.ReadAt(p, 100); err == nil {
+		t.Error("read past EOF accepted")
+	}
+}
+
+func TestTableIteratorSeekToFirstAfterExhaustion(t *testing.T) {
+	entries := genEntries(100, 5)
+	data, _ := buildTable(t, entries)
+	tbl, _ := Open(bytes.NewReader(data), int64(len(data)), 1, nil)
+	it := tbl.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+	}
+	// Rewind works after exhaustion.
+	it.SeekToFirst()
+	if !it.Valid() {
+		t.Fatal("SeekToFirst after exhaustion invalid")
+	}
+}

@@ -1,0 +1,343 @@
+// Package storage binds an SMR drive to a placement policy and
+// exposes the flat-blob interface the LSM engine programs against:
+// numbered files written whole (SSTables), numbered append-only files
+// (write-ahead logs), and contiguous file groups (the paper's sets).
+//
+// The store is "direct on disk": there is no file system, only the
+// indirection table from file number to physical block address that
+// the paper's §III-D describes.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sealdb/internal/smr"
+)
+
+// Extent is a half-open physical byte range on the drive.
+type Extent struct {
+	Off, Len int64
+}
+
+// End returns the first byte past the extent.
+func (e Extent) End() int64 { return e.Off + e.Len }
+
+func (e Extent) String() string { return fmt.Sprintf("[%d,%d)", e.Off, e.End()) }
+
+// Allocator is a placement policy over the drive's address space.
+type Allocator interface {
+	// Alloc reserves an extent of exactly size bytes.
+	Alloc(size int64) (Extent, error)
+	// AllocAppend reserves an extent for an append-only stream. A
+	// policy may place these differently (e.g. always in fresh
+	// space, as a file system places a growing log).
+	AllocAppend(size int64) (Extent, error)
+	// AllocGroup reserves one contiguous extent to hold a group of
+	// blobs of the given sizes (a set). Policies that cannot
+	// co-locate may return ErrNoGroupAlloc to make the backend fall
+	// back to per-blob allocation.
+	AllocGroup(sizes []int64) (Extent, error)
+	// Free returns an extent to the policy.
+	Free(e Extent)
+}
+
+// ErrNoGroupAlloc is returned by allocators that do not support
+// contiguous group placement.
+var ErrNoGroupAlloc = errors.New("storage: allocator does not support group allocation")
+
+// ErrNotFound is returned when a file number is unknown.
+var ErrNotFound = errors.New("storage: file not found")
+
+type fileInfo struct {
+	ext     Extent
+	size    int64 // logical size (bytes written); <= limit
+	limit   int64 // writable bytes of the extent (excludes guard padding)
+	grouped bool  // space owned by a group (set); freed via FreeExtent
+}
+
+// Backend is a numbered-blob store over a drive and an allocator.
+// All methods are safe for concurrent use.
+type Backend struct {
+	drive smr.Drive
+	alloc Allocator
+
+	// writeMu serializes allocate+write pairs so that the write into
+	// a frontier extent always happens before the next extent is
+	// handed out; otherwise the damage window of a late write could
+	// reach data already landed just past it.
+	writeMu sync.Mutex
+
+	mu    sync.Mutex
+	files map[uint64]*fileInfo
+}
+
+// NewBackend creates a backend over the given drive and policy.
+func NewBackend(drive smr.Drive, alloc Allocator) *Backend {
+	return &Backend{drive: drive, alloc: alloc, files: make(map[uint64]*fileInfo)}
+}
+
+// Drive returns the underlying device.
+func (b *Backend) Drive() smr.Drive { return b.drive }
+
+// WriteFile stores data as file num in one extent and one device
+// write. The file must not already exist.
+func (b *Backend) WriteFile(num uint64, data []byte) error {
+	b.mu.Lock()
+	if _, dup := b.files[num]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("storage: file %d already exists", num)
+	}
+	b.mu.Unlock()
+
+	b.writeMu.Lock()
+	ext, err := b.alloc.Alloc(int64(len(data)))
+	if err != nil {
+		b.writeMu.Unlock()
+		return err
+	}
+	_, werr := b.drive.WriteAt(data, ext.Off)
+	b.writeMu.Unlock()
+	if werr != nil {
+		b.alloc.Free(ext)
+		return werr
+	}
+	b.mu.Lock()
+	b.files[num] = &fileInfo{ext: ext, size: int64(len(data)), limit: ext.Len}
+	b.mu.Unlock()
+	return nil
+}
+
+// WriteGroup stores the files of a set in one contiguous extent,
+// writing them back to back in a single sequential pass, and returns
+// the containing extent. The returned extent is owned by the caller's
+// set registry: removing a member file only forgets its mapping, and
+// the space comes back via FreeExtent once the whole set is dead.
+//
+// If the allocator cannot co-locate groups, each file is placed
+// individually and the zero Extent is returned with grouped=false.
+func (b *Backend) WriteGroup(nums []uint64, datas [][]byte) (Extent, bool, error) {
+	if len(nums) != len(datas) {
+		return Extent{}, false, fmt.Errorf("storage: %d nums vs %d blobs", len(nums), len(datas))
+	}
+	sizes := make([]int64, len(datas))
+	var total int64
+	for i, d := range datas {
+		sizes[i] = int64(len(d))
+		total += sizes[i]
+	}
+	b.writeMu.Lock()
+	group, err := b.alloc.AllocGroup(sizes)
+	if errors.Is(err, ErrNoGroupAlloc) {
+		b.writeMu.Unlock()
+		for i := range nums {
+			if err := b.WriteFile(nums[i], datas[i]); err != nil {
+				return Extent{}, false, err
+			}
+		}
+		return Extent{}, false, nil
+	}
+	if err != nil {
+		b.writeMu.Unlock()
+		return Extent{}, false, err
+	}
+	if group.Len < total {
+		b.writeMu.Unlock()
+		b.alloc.Free(group)
+		return Extent{}, false, fmt.Errorf("storage: group extent %v smaller than total size %d", group, total)
+	}
+
+	off := group.Off
+	for i, d := range datas {
+		if _, err := b.drive.WriteAt(d, off); err != nil {
+			b.writeMu.Unlock()
+			b.alloc.Free(group)
+			return Extent{}, false, err
+		}
+		b.mu.Lock()
+		b.files[nums[i]] = &fileInfo{ext: Extent{Off: off, Len: sizes[i]}, size: sizes[i], limit: sizes[i], grouped: true}
+		b.mu.Unlock()
+		off += sizes[i]
+	}
+	b.writeMu.Unlock()
+	return group, true, nil
+}
+
+// ReadFileAt implements random reads within file num.
+func (b *Backend) ReadFileAt(num uint64, p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	fi, ok := b.files[num]
+	b.mu.Unlock()
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if off < 0 || off > fi.size {
+		return 0, fmt.Errorf("storage: read at %d outside file %d (size %d)", off, num, fi.size)
+	}
+	n := len(p)
+	var eof error
+	if int64(n) > fi.size-off {
+		n = int(fi.size - off)
+		eof = io.EOF
+	}
+	if n == 0 {
+		return 0, eof
+	}
+	if _, err := b.drive.ReadAt(p[:n], fi.ext.Off+off); err != nil {
+		return 0, err
+	}
+	return n, eof
+}
+
+// FileSize returns the logical size of file num.
+func (b *Backend) FileSize(num uint64) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fi, ok := b.files[num]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return fi.size, nil
+}
+
+// FileExtent returns the physical placement of file num.
+func (b *Backend) FileExtent(num uint64) (Extent, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fi, ok := b.files[num]
+	if !ok {
+		return Extent{}, ErrNotFound
+	}
+	return fi.ext, nil
+}
+
+// Remove deletes file num. For an individually allocated file the
+// space is freed immediately; for a set member only the mapping is
+// dropped (the set registry frees the group extent when the set
+// dies), implementing the paper's deferred victim reclamation.
+func (b *Backend) Remove(num uint64) error {
+	b.mu.Lock()
+	fi, ok := b.files[num]
+	if ok {
+		delete(b.files, num)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	if !fi.grouped {
+		b.alloc.Free(fi.ext)
+		return b.drive.Free(fi.ext.Off, fi.ext.Len)
+	}
+	return nil
+}
+
+// FreeExtent returns raw space (a dead set's group extent) to the
+// allocator and the drive.
+func (b *Backend) FreeExtent(e Extent) error {
+	b.alloc.Free(e)
+	return b.drive.Free(e.Off, e.Len)
+}
+
+// NumFiles returns how many files the backend tracks.
+func (b *Backend) NumFiles() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.files)
+}
+
+// Handle returns an io.ReaderAt view of file num for the SSTable
+// reader. The handle remains valid until the file is removed.
+func (b *Backend) Handle(num uint64) *Handle {
+	return &Handle{b: b, num: num}
+}
+
+// Handle adapts a backend file to io.ReaderAt.
+type Handle struct {
+	b   *Backend
+	num uint64
+}
+
+// ReadAt implements io.ReaderAt.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	return h.b.ReadFileAt(h.num, p, off)
+}
+
+// ---------------------------------------------------------------------------
+// Append files (write-ahead logs)
+
+// AppendFile is a preallocated extent written strictly sequentially,
+// used for WALs and the MANIFEST.
+type AppendFile struct {
+	b   *Backend
+	num uint64
+
+	mu    sync.Mutex
+	ext   Extent
+	limit int64
+	pos   int64
+}
+
+// CreateAppend reserves maxSize bytes for an append-only file. On a
+// write-anywhere SMR drive the reservation is padded with the drive's
+// guard window, which is never written: incremental appends damage
+// only that padding, never a neighbouring extent.
+func (b *Backend) CreateAppend(num uint64, maxSize int64) (*AppendFile, error) {
+	b.mu.Lock()
+	if _, dup := b.files[num]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("storage: file %d already exists", num)
+	}
+	b.mu.Unlock()
+	b.writeMu.Lock()
+	ext, err := b.alloc.AllocAppend(maxSize + b.drive.Guard())
+	b.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	fi := &fileInfo{ext: ext, limit: maxSize}
+	b.mu.Lock()
+	b.files[num] = fi
+	b.mu.Unlock()
+	return &AppendFile{b: b, num: num, ext: ext, limit: maxSize}, nil
+}
+
+// Write appends p, growing the file's logical size.
+func (f *AppendFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pos+int64(len(p)) > f.limit {
+		return 0, fmt.Errorf("storage: append file %d full (%d + %d > %d)", f.num, f.pos, len(p), f.limit)
+	}
+	if _, err := f.b.drive.WriteAt(p, f.ext.Off+f.pos); err != nil {
+		return 0, err
+	}
+	f.pos += int64(len(p))
+	f.b.mu.Lock()
+	if fi, ok := f.b.files[f.num]; ok {
+		fi.size = f.pos
+	}
+	f.b.mu.Unlock()
+	return len(p), nil
+}
+
+// Size returns the bytes appended so far.
+func (f *AppendFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pos
+}
+
+// OpenAppend reopens an existing append file for further appends
+// (MANIFEST continuation after recovery).
+func (b *Backend) OpenAppend(num uint64) (*AppendFile, error) {
+	b.mu.Lock()
+	fi, ok := b.files[num]
+	b.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return &AppendFile{b: b, num: num, ext: fi.ext, limit: fi.limit, pos: fi.size}, nil
+}

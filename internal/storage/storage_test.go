@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"sealdb/internal/dband"
+	"sealdb/internal/platter"
+	"sealdb/internal/smr"
+)
+
+func newRawBackend(t *testing.T) (*Backend, *dband.Manager, *smr.RawDrive) {
+	t.Helper()
+	disk := platter.New(platter.DefaultConfig(16 << 20))
+	drive := smr.NewRaw(disk, 4096)
+	mgr := dband.New(disk.Capacity(), 4096, 4096)
+	b := NewBackend(drive, NewDynamicBandAllocator(mgr))
+	return b, mgr, drive
+}
+
+func TestWriteReadRemove(t *testing.T) {
+	b, _, _ := newRawBackend(t)
+	data := make([]byte, 10000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := b.WriteFile(1, data); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := b.FileSize(1); sz != int64(len(data)) {
+		t.Errorf("size %d", sz)
+	}
+	got := make([]byte, len(data))
+	if _, err := b.ReadFileAt(1, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data mismatch")
+	}
+	// Partial read in the middle.
+	mid := make([]byte, 100)
+	if _, err := b.ReadFileAt(1, mid, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid, data[500:600]) {
+		t.Error("partial read mismatch")
+	}
+	if err := b.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.FileSize(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateFileRejected(t *testing.T) {
+	b, _, _ := newRawBackend(t)
+	if err := b.WriteFile(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(7, []byte("y")); err == nil {
+		t.Error("duplicate file number accepted")
+	}
+}
+
+func TestReadAtEOFSemantics(t *testing.T) {
+	b, _, _ := newRawBackend(t)
+	b.WriteFile(1, []byte("hello"))
+	p := make([]byte, 10)
+	n, err := b.ReadFileAt(1, p, 0)
+	if n != 5 || err != io.EOF {
+		t.Errorf("n=%d err=%v, want 5, io.EOF", n, err)
+	}
+	h := b.Handle(1)
+	n, err = h.ReadAt(p[:3], 2)
+	if n != 3 || err != nil {
+		t.Errorf("handle read n=%d err=%v", n, err)
+	}
+	if string(p[:3]) != "llo" {
+		t.Errorf("handle read %q", p[:3])
+	}
+}
+
+func TestWriteGroupContiguous(t *testing.T) {
+	b, _, drive := newRawBackend(t)
+	nums := []uint64{10, 11, 12}
+	datas := [][]byte{
+		bytes.Repeat([]byte("a"), 3000),
+		bytes.Repeat([]byte("b"), 5000),
+		bytes.Repeat([]byte("c"), 2000),
+	}
+	ext, grouped, err := b.WriteGroup(nums, datas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grouped {
+		t.Fatal("dynamic band allocator should group")
+	}
+	if ext.Len != 10000 {
+		t.Errorf("group extent %v, want len 10000", ext)
+	}
+	// Files are contiguous and in order.
+	var pos = ext.Off
+	for i, num := range nums {
+		fe, _ := b.FileExtent(num)
+		if fe.Off != pos || fe.Len != int64(len(datas[i])) {
+			t.Errorf("file %d extent %v, want off %d len %d", num, fe, pos, len(datas[i]))
+		}
+		got := make([]byte, len(datas[i]))
+		b.ReadFileAt(num, got, 0)
+		if !bytes.Equal(got, datas[i]) {
+			t.Errorf("file %d data mismatch", num)
+		}
+		pos += fe.Len
+	}
+	// Removing a grouped member must not free the space.
+	valid := drive.ValidBytes()
+	b.Remove(11)
+	if drive.ValidBytes() != valid {
+		t.Error("removing a set member freed drive space early")
+	}
+	// Freeing the group extent releases it.
+	if err := b.FreeExtent(ext); err != nil {
+		t.Fatal(err)
+	}
+	if drive.ValidBytes() != valid-10000 {
+		t.Errorf("FreeExtent released %d bytes, want 10000", valid-drive.ValidBytes())
+	}
+}
+
+func TestWriteGroupFallbackOnExtfsStylePolicy(t *testing.T) {
+	disk := platter.New(platter.DefaultConfig(16 << 20))
+	drive := smr.NewFixedBand(disk, 1<<20)
+	b := NewBackend(drive, refusingAlloc{})
+	_, grouped, err := b.WriteGroup([]uint64{1, 2}, [][]byte{[]byte("xx"), []byte("yy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped {
+		t.Error("grouping reported for a policy that refuses groups")
+	}
+	got := make([]byte, 2)
+	b.ReadFileAt(2, got, 0)
+	if string(got) != "yy" {
+		t.Errorf("fallback file content %q", got)
+	}
+}
+
+// refusingAlloc allocates sequentially but refuses groups.
+type refusingAlloc struct{}
+
+var refusingNext int64
+
+func (refusingAlloc) Alloc(size int64) (Extent, error) {
+	e := Extent{Off: refusingNext, Len: size}
+	refusingNext += size
+	return e, nil
+}
+func (r refusingAlloc) AllocAppend(size int64) (Extent, error) { return r.Alloc(size) }
+func (refusingAlloc) AllocGroup(sizes []int64) (Extent, error) {
+	return Extent{}, ErrNoGroupAlloc
+}
+func (refusingAlloc) Free(e Extent) {}
+
+func TestAppendFile(t *testing.T) {
+	b, _, _ := newRawBackend(t)
+	f, err := b.CreateAppend(99, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 20; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	if f.Size() != int64(len(want)) {
+		t.Errorf("size %d, want %d", f.Size(), len(want))
+	}
+	got := make([]byte, len(want))
+	if _, err := b.ReadFileAt(99, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("append data mismatch")
+	}
+
+	// Reopen and continue appending.
+	f2, err := b.OpenAppend(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, len(want)+4)
+	b.ReadFileAt(99, got2, 0)
+	if string(got2[len(want):]) != "tail" {
+		t.Error("continued append lost")
+	}
+}
+
+func TestAppendFileCapacity(t *testing.T) {
+	b, _, _ := newRawBackend(t)
+	f, _ := b.CreateAppend(1, 100)
+	if _, err := f.Write(make([]byte, 101)); err == nil {
+		t.Error("overflowing append accepted")
+	}
+}
+
+func TestBandAllocatorDedicatedBands(t *testing.T) {
+	disk := platter.New(platter.DefaultConfig(16 << 20))
+	drive := smr.NewFixedBand(disk, 1<<20)
+	a := NewBandAllocator(drive)
+	e1, err := a.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := a.Alloc(100)
+	if e1.Off%(1<<20) != 0 || e2.Off%(1<<20) != 0 {
+		t.Error("extents not band aligned")
+	}
+	if e1.Off == e2.Off {
+		t.Error("two files share a band")
+	}
+	// A request larger than a band takes a run of consecutive fresh
+	// bands (metadata files), still band aligned.
+	big, err := a.Alloc(1<<20 + 1)
+	if err != nil {
+		t.Fatalf("multi-band alloc: %v", err)
+	}
+	if big.Off%(1<<20) != 0 {
+		t.Error("multi-band extent not band aligned")
+	}
+	following, _ := a.Alloc(100)
+	if following.Off < big.Off+2*(1<<20) && following.Off >= big.Off {
+		t.Errorf("allocation %v landed inside multi-band run starting at %d", following, big.Off)
+	}
+
+	// Write a full band, free it, and rewrite: no RMW thanks to the
+	// band reset.
+	if _, err := drive.WriteAt(make([]byte, 1<<20), e1.Off); err != nil {
+		t.Fatal(err)
+	}
+	a.Free(e1)
+	e3, _ := a.Alloc(1 << 20)
+	if e3.Off != e1.Off {
+		t.Errorf("band not recycled: %v", e3)
+	}
+	if _, err := drive.WriteAt(make([]byte, 1<<20), e3.Off); err != nil {
+		t.Fatal(err)
+	}
+	if drive.RMWCount() != 0 {
+		t.Errorf("band rewrite after reset caused %d RMWs", drive.RMWCount())
+	}
+	if awa := smr.AWA(drive); awa != 1.0 {
+		t.Errorf("AWA = %v, want 1.0 for dedicated bands", awa)
+	}
+}
+
+func TestBandAllocatorExhaustion(t *testing.T) {
+	disk := platter.New(platter.DefaultConfig(8 << 20))
+	drive := smr.NewFixedBand(disk, 1<<20)
+	a := NewBandAllocator(drive)
+	bands := drive.Capacity() / (1 << 20) // media cache shrinks the usable space
+	for i := int64(0); i < bands; i++ {
+		if _, err := a.Alloc(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Alloc(10); err != ErrNoSpace {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestDynamicAllocatorSetsAWAOne(t *testing.T) {
+	b, _, drive := newRawBackend(t)
+	rng := rand.New(rand.NewSource(3))
+	var num uint64
+	live := map[uint64]int{}
+	for i := 0; i < 300; i++ {
+		num++
+		data := make([]byte, 1024+rng.Intn(8192))
+		if err := b.WriteFile(num, data); err != nil {
+			t.Fatalf("write %d: %v", num, err)
+		}
+		live[num] = len(data)
+		if len(live) > 20 {
+			for k := range live {
+				b.Remove(k)
+				delete(live, k)
+				break
+			}
+		}
+	}
+	if awa := smr.AWA(drive); awa != 1.0 {
+		t.Errorf("AWA = %v, want exactly 1.0", awa)
+	}
+}

@@ -1,0 +1,289 @@
+package version
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sealdb/internal/kv"
+)
+
+// Edit is a delta applied to a Version and logged to the MANIFEST.
+type Edit struct {
+	HasLogNum   bool
+	LogNum      uint64
+	HasNextFile bool
+	NextFileNum uint64
+	HasLastSeq  bool
+	LastSeq     kv.SeqNum
+
+	CompactPointers []CompactPointer
+	Deleted         []DeletedFile
+	Added           []AddedFile
+
+	// NewSets registers contiguously stored compaction-output groups
+	// (the paper's sets); DropSets retires them once every member is
+	// dead and the extent has been returned to the free-space list.
+	NewSets  []SetRecord
+	DropSets []uint64
+}
+
+// SetRecord describes a set: a group of SSTables written back to back
+// in one extent. Members counts the files originally in the group;
+// the live subset is derived from FileMeta.SetID references.
+type SetRecord struct {
+	ID      uint64
+	Off     int64
+	Len     int64
+	Members int
+}
+
+// CompactPointer remembers where round-robin victim selection left
+// off in a level.
+type CompactPointer struct {
+	Level int
+	Key   kv.InternalKey
+}
+
+// DeletedFile names a file removed from a level.
+type DeletedFile struct {
+	Level int
+	Num   uint64
+}
+
+// AddedFile places a file in a level.
+type AddedFile struct {
+	Level int
+	Meta  *FileMeta
+}
+
+// Manifest record tags.
+const (
+	tagLogNum         = 1
+	tagNextFileNum    = 2
+	tagLastSeq        = 3
+	tagCompactPointer = 4
+	tagDeletedFile    = 5
+	tagAddedFile      = 6
+	tagNewSet         = 7
+	tagDropSet        = 8
+)
+
+// Encode serializes the edit as one manifest record.
+func (e *Edit) Encode() []byte {
+	var b []byte
+	putUvarint := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	putBytes := func(p []byte) {
+		putUvarint(uint64(len(p)))
+		b = append(b, p...)
+	}
+	if e.HasLogNum {
+		putUvarint(tagLogNum)
+		putUvarint(e.LogNum)
+	}
+	if e.HasNextFile {
+		putUvarint(tagNextFileNum)
+		putUvarint(e.NextFileNum)
+	}
+	if e.HasLastSeq {
+		putUvarint(tagLastSeq)
+		putUvarint(uint64(e.LastSeq))
+	}
+	for _, cp := range e.CompactPointers {
+		putUvarint(tagCompactPointer)
+		putUvarint(uint64(cp.Level))
+		putBytes(cp.Key)
+	}
+	for _, d := range e.Deleted {
+		putUvarint(tagDeletedFile)
+		putUvarint(uint64(d.Level))
+		putUvarint(d.Num)
+	}
+	for _, a := range e.Added {
+		putUvarint(tagAddedFile)
+		putUvarint(uint64(a.Level))
+		putUvarint(a.Meta.Num)
+		putUvarint(uint64(a.Meta.Size))
+		putUvarint(a.Meta.SetID)
+		putBytes(a.Meta.Smallest)
+		putBytes(a.Meta.Largest)
+	}
+	for _, s := range e.NewSets {
+		putUvarint(tagNewSet)
+		putUvarint(s.ID)
+		putUvarint(uint64(s.Off))
+		putUvarint(uint64(s.Len))
+		putUvarint(uint64(s.Members))
+	}
+	for _, id := range e.DropSets {
+		putUvarint(tagDropSet)
+		putUvarint(id)
+	}
+	return b
+}
+
+// DecodeEdit parses a manifest record.
+func DecodeEdit(p []byte) (*Edit, error) {
+	e := &Edit{}
+	pos := 0
+	getUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("version: truncated varint at %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	getBytes := func() ([]byte, error) {
+		n, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(n) > len(p) {
+			return nil, fmt.Errorf("version: truncated bytes at %d", pos)
+		}
+		out := append([]byte(nil), p[pos:pos+int(n)]...)
+		pos += int(n)
+		return out, nil
+	}
+	for pos < len(p) {
+		tag, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLogNum:
+			v, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.HasLogNum, e.LogNum = true, v
+		case tagNextFileNum:
+			v, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.HasNextFile, e.NextFileNum = true, v
+		case tagLastSeq:
+			v, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.HasLastSeq, e.LastSeq = true, kv.SeqNum(v)
+		case tagCompactPointer:
+			lvl, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			key, err := getBytes()
+			if err != nil {
+				return nil, err
+			}
+			e.CompactPointers = append(e.CompactPointers, CompactPointer{Level: int(lvl), Key: key})
+		case tagDeletedFile:
+			lvl, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.Deleted = append(e.Deleted, DeletedFile{Level: int(lvl), Num: num})
+		case tagAddedFile:
+			lvl, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			size, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			setID, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			smallest, err := getBytes()
+			if err != nil {
+				return nil, err
+			}
+			largest, err := getBytes()
+			if err != nil {
+				return nil, err
+			}
+			e.Added = append(e.Added, AddedFile{
+				Level: int(lvl),
+				Meta: &FileMeta{
+					Num: num, Size: int64(size), SetID: setID,
+					Smallest: smallest, Largest: largest,
+				},
+			})
+		case tagNewSet:
+			var vals [4]uint64
+			for i := range vals {
+				v, err := getUvarint()
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			e.NewSets = append(e.NewSets, SetRecord{
+				ID: vals[0], Off: int64(vals[1]), Len: int64(vals[2]), Members: int(vals[3]),
+			})
+		case tagDropSet:
+			id, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.DropSets = append(e.DropSets, id)
+		default:
+			return nil, fmt.Errorf("version: unknown manifest tag %d", tag)
+		}
+	}
+	return e, nil
+}
+
+// Apply builds the successor version of v under this edit. Levels of
+// added files must be < NumLevels.
+func (e *Edit) Apply(v *Version) (*Version, error) {
+	nv := v.Clone()
+	for _, d := range e.Deleted {
+		if d.Level < 0 || d.Level >= NumLevels {
+			return nil, fmt.Errorf("version: delete at bad level %d", d.Level)
+		}
+		files := nv.Files[d.Level]
+		found := false
+		for i, f := range files {
+			if f.Num == d.Num {
+				nv.Files[d.Level] = append(append([]*FileMeta(nil), files[:i]...), files[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("version: deleting unknown file %d at L%d", d.Num, d.Level)
+		}
+	}
+	for _, a := range e.Added {
+		if a.Level < 0 || a.Level >= NumLevels {
+			return nil, fmt.Errorf("version: add at bad level %d", a.Level)
+		}
+		nv.Files[a.Level] = append(append([]*FileMeta(nil), nv.Files[a.Level]...), a.Meta)
+	}
+	// Restore ordering.
+	for l := 0; l < NumLevels; l++ {
+		files := nv.Files[l]
+		if l == 0 {
+			sort.SliceStable(files, func(i, j int) bool { return files[i].Num < files[j].Num })
+		} else if l > 0 {
+			sort.SliceStable(files, func(i, j int) bool {
+				return kv.CompareInternal(files[i].Smallest, files[j].Smallest) < 0
+			})
+		}
+	}
+	return nv, nil
+}

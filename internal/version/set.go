@@ -1,0 +1,290 @@
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sealdb/internal/kv"
+	"sealdb/internal/storage"
+	"sealdb/internal/wal"
+)
+
+// CurrentFileNum is the reserved file number of the 8-byte CURRENT
+// pointer that names the live MANIFEST, mirroring LevelDB's CURRENT
+// file.
+const CurrentFileNum uint64 = 0
+
+// Config wires a Set to its storage and level semantics.
+type Config struct {
+	Backend *storage.Backend
+	// ManifestSize is the preallocated size of each MANIFEST file;
+	// the set rotates to a fresh manifest when one fills up.
+	ManifestSize int64
+	// SortedLevel reports whether a level's files must be disjoint
+	// (false for the SMRDB baseline's overlapped level 1).
+	SortedLevel func(level int) bool
+}
+
+// Set owns the current Version and the MANIFEST, and issues file
+// numbers and sequence numbers.
+type Set struct {
+	mu  sync.Mutex
+	cfg Config
+
+	current     *Version
+	manifestNum uint64
+	manifest    *storage.AppendFile
+	logw        *wal.Writer
+
+	nextFile   uint64
+	lastSeq    kv.SeqNum
+	logNum     uint64
+	compactPtr [NumLevels]kv.InternalKey
+	sets       map[uint64]SetRecord
+}
+
+// Create initializes a brand-new database state.
+func Create(cfg Config) (*Set, error) {
+	if cfg.ManifestSize <= 0 {
+		cfg.ManifestSize = 4 << 20
+	}
+	s := &Set{cfg: cfg, current: &Version{}, nextFile: 1, sets: map[uint64]SetRecord{}}
+	if err := s.newManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recover rebuilds the state from the CURRENT pointer and MANIFEST.
+func Recover(cfg Config) (*Set, error) {
+	if cfg.ManifestSize <= 0 {
+		cfg.ManifestSize = 4 << 20
+	}
+	var cur [8]byte
+	if _, err := cfg.Backend.ReadFileAt(CurrentFileNum, cur[:], 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("version: reading CURRENT: %w", err)
+	}
+	manifestNum := binary.LittleEndian.Uint64(cur[:])
+	size, err := cfg.Backend.FileSize(manifestNum)
+	if err != nil {
+		return nil, fmt.Errorf("version: opening MANIFEST %d: %w", manifestNum, err)
+	}
+	buf := make([]byte, size)
+	if _, err := cfg.Backend.ReadFileAt(manifestNum, buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("version: reading MANIFEST %d: %w", manifestNum, err)
+	}
+
+	s := &Set{cfg: cfg, current: &Version{}, manifestNum: manifestNum, nextFile: manifestNum + 1, sets: map[uint64]SetRecord{}}
+	r := wal.NewReader(newBytesReader(buf))
+	records := 0
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+		}
+		edit, err := DecodeEdit(rec)
+		if err != nil {
+			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+		}
+		if err := s.applyLocked(edit); err != nil {
+			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+		}
+		records++
+	}
+	if records == 0 {
+		return nil, fmt.Errorf("version: empty MANIFEST %d", manifestNum)
+	}
+	if err := s.current.CheckInvariants(cfg.SortedLevel); err != nil {
+		return nil, fmt.Errorf("version: recovered state invalid: %w", err)
+	}
+	// Continue appending to the recovered manifest.
+	f, err := cfg.Backend.OpenAppend(manifestNum)
+	if err != nil {
+		return nil, err
+	}
+	s.manifest = f
+	s.logw = wal.NewReopenedWriter(f, f.Size())
+	return s, nil
+}
+
+// newBytesReader avoids importing bytes in two places.
+func newBytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// applyLocked folds an edit into the in-memory state.
+func (s *Set) applyLocked(e *Edit) error {
+	nv, err := e.Apply(s.current)
+	if err != nil {
+		return err
+	}
+	s.current = nv
+	if e.HasLogNum {
+		s.logNum = e.LogNum
+	}
+	if e.HasNextFile && e.NextFileNum > s.nextFile {
+		s.nextFile = e.NextFileNum
+	}
+	if e.HasLastSeq && e.LastSeq > s.lastSeq {
+		s.lastSeq = e.LastSeq
+	}
+	for _, cp := range e.CompactPointers {
+		if cp.Level >= 0 && cp.Level < NumLevels {
+			s.compactPtr[cp.Level] = cp.Key
+		}
+	}
+	for _, a := range e.Added {
+		if a.Meta.Num >= s.nextFile {
+			s.nextFile = a.Meta.Num + 1
+		}
+	}
+	for _, sr := range e.NewSets {
+		s.sets[sr.ID] = sr
+	}
+	for _, id := range e.DropSets {
+		delete(s.sets, id)
+	}
+	return nil
+}
+
+// newManifest starts a fresh MANIFEST containing a snapshot of the
+// current state, and repoints CURRENT at it.
+func (s *Set) newManifest() error {
+	num := s.nextFile
+	s.nextFile++
+	f, err := s.cfg.Backend.CreateAppend(num, s.cfg.ManifestSize)
+	if err != nil {
+		return err
+	}
+	w := wal.NewWriter(f)
+	if err := w.AddRecord(s.snapshotEdit().Encode()); err != nil {
+		return err
+	}
+	// Repoint CURRENT.
+	var cur [8]byte
+	binary.LittleEndian.PutUint64(cur[:], num)
+	s.cfg.Backend.Remove(CurrentFileNum) // ignore not-found on first creation
+	if err := s.cfg.Backend.WriteFile(CurrentFileNum, cur[:]); err != nil {
+		return err
+	}
+	if s.manifestNum != 0 {
+		s.cfg.Backend.Remove(s.manifestNum)
+	}
+	s.manifestNum = num
+	s.manifest = f
+	s.logw = w
+	return nil
+}
+
+// snapshotEdit captures the full state as a single edit.
+func (s *Set) snapshotEdit() *Edit {
+	e := &Edit{
+		HasLogNum: true, LogNum: s.logNum,
+		HasNextFile: true, NextFileNum: s.nextFile,
+		HasLastSeq: true, LastSeq: s.lastSeq,
+	}
+	for l := 0; l < NumLevels; l++ {
+		if s.compactPtr[l] != nil {
+			e.CompactPointers = append(e.CompactPointers, CompactPointer{Level: l, Key: s.compactPtr[l]})
+		}
+		for _, f := range s.current.Files[l] {
+			e.Added = append(e.Added, AddedFile{Level: l, Meta: f})
+		}
+	}
+	for _, sr := range s.sets {
+		e.NewSets = append(e.NewSets, sr)
+	}
+	return e
+}
+
+// LogAndApply makes the edit durable in the MANIFEST and installs the
+// successor version.
+func (s *Set) LogAndApply(e *Edit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.HasNextFile, e.NextFileNum = true, s.nextFile
+	rec := e.Encode()
+	// Rotate if the manifest cannot hold this record (generously
+	// accounting for WAL framing overhead).
+	overhead := int64(len(rec)/wal.BlockSize+2) * 64
+	if s.manifest.Size()+int64(len(rec))+overhead > s.cfg.ManifestSize {
+		if err := s.applyLocked(e); err != nil {
+			return err
+		}
+		return s.newManifest()
+	}
+	if err := s.logw.AddRecord(rec); err != nil {
+		return err
+	}
+	return s.applyLocked(e)
+}
+
+// Current returns the live version. The returned value is immutable.
+func (s *Set) Current() *Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// NewFileNum issues the next file number.
+func (s *Set) NewFileNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nextFile
+	s.nextFile++
+	return n
+}
+
+// LastSeq returns the recovered/persisted last sequence number.
+func (s *Set) LastSeq() kv.SeqNum {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// LogNum returns the WAL file number recorded in the manifest.
+func (s *Set) LogNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logNum
+}
+
+// CompactPointer returns the round-robin cursor of a level.
+func (s *Set) CompactPointer(level int) kv.InternalKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactPtr[level]
+}
+
+// Sets returns a copy of the live set records.
+func (s *Set) Sets() map[uint64]SetRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]SetRecord, len(s.sets))
+	for id, sr := range s.sets {
+		out[id] = sr
+	}
+	return out
+}
+
+// ManifestNum returns the live MANIFEST file number (for tests).
+func (s *Set) ManifestNum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifestNum
+}

@@ -1,0 +1,253 @@
+// Package wal implements the write-ahead log in LevelDB's log
+// format: the stream is cut into 32 KiB blocks, each record is
+// written as one FULL fragment or a FIRST/MIDDLE.../LAST chain that
+// never crosses a block boundary, and every fragment carries a masked
+// CRC-32C over its type and payload. The reader resynchronizes at
+// block boundaries after corruption, reporting what it skipped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// BlockSize is the log's framing unit.
+	BlockSize = 32 * 1024
+	// headerSize is checksum (4) + length (2) + type (1).
+	headerSize = 7
+)
+
+// Fragment types.
+const (
+	typeFull   = 1
+	typeFirst  = 2
+	typeMiddle = 3
+	typeLast   = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// mask implements LevelDB's CRC masking so that CRCs stored in the
+// stream do not collide with CRCs computed over the stream.
+func mask(c uint32) uint32 { return ((c >> 15) | (c << 17)) + 0xa282ead8 }
+
+func fragmentCRC(ftype byte, payload []byte) uint32 {
+	c := crc32.Update(0, castagnoli, []byte{ftype})
+	c = crc32.Update(c, castagnoli, payload)
+	return mask(c)
+}
+
+// Writer appends records to an io.Writer.
+type Writer struct {
+	w           io.Writer
+	blockOffset int // position within the current block
+	written     int64
+}
+
+// NewWriter creates a log writer that starts at a block boundary.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// NewReopenedWriter creates a writer that continues a log whose
+// first offset bytes were written by an earlier writer, so block
+// framing stays consistent across reopen (used by the MANIFEST).
+func NewReopenedWriter(w io.Writer, offset int64) *Writer {
+	return &Writer{w: w, blockOffset: int(offset % BlockSize)}
+}
+
+// AddRecord appends one record, fragmenting it across blocks as
+// needed. Empty records are legal.
+func (w *Writer) AddRecord(payload []byte) error {
+	begin := true
+	for {
+		leftover := BlockSize - w.blockOffset
+		if leftover < headerSize {
+			// Fill the block trailer with zeros.
+			if leftover > 0 {
+				if err := w.emit(make([]byte, leftover)); err != nil {
+					return err
+				}
+			}
+			w.blockOffset = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerSize
+		frag := payload
+		if len(frag) > avail {
+			frag = frag[:avail]
+		}
+		end := len(frag) == len(payload)
+
+		var ftype byte
+		switch {
+		case begin && end:
+			ftype = typeFull
+		case begin:
+			ftype = typeFirst
+		case end:
+			ftype = typeLast
+		default:
+			ftype = typeMiddle
+		}
+		if err := w.emitFragment(ftype, frag); err != nil {
+			return err
+		}
+		payload = payload[len(frag):]
+		begin = false
+		if end {
+			return nil
+		}
+	}
+}
+
+func (w *Writer) emitFragment(ftype byte, payload []byte) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], fragmentCRC(ftype, payload))
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(payload)))
+	hdr[6] = ftype
+	if err := w.emit(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.emit(payload); err != nil {
+		return err
+	}
+	w.blockOffset += headerSize + len(payload)
+	return nil
+}
+
+func (w *Writer) emit(p []byte) error {
+	n, err := w.w.Write(p)
+	w.written += int64(n)
+	if err == nil && n != len(p) {
+		err = io.ErrShortWrite
+	}
+	return err
+}
+
+// Size returns the bytes written to the underlying writer.
+func (w *Writer) Size() int64 { return w.written }
+
+// ErrCorrupt is wrapped by reader errors caused by damaged fragments.
+var ErrCorrupt = errors.New("wal: corrupt fragment")
+
+// Reader sequentially decodes records from a log stream.
+type Reader struct {
+	r       io.Reader
+	block   [BlockSize]byte
+	buf     []byte // unconsumed bytes of the current block
+	eof     bool
+	skipped int64 // bytes dropped due to corruption
+}
+
+// NewReader creates a reader over a log stream.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Skipped returns the number of payload bytes dropped while
+// resynchronizing after corruption.
+func (r *Reader) Skipped() int64 { return r.skipped }
+
+// ReadRecord returns the next record. It returns io.EOF at the clean
+// end of the log. Corrupt fragments are skipped (accounted in
+// Skipped) and reading continues at the next block.
+func (r *Reader) ReadRecord() ([]byte, error) {
+	var record []byte
+	inFragmented := false
+	for {
+		ftype, payload, err := r.nextFragment()
+		if err == io.EOF {
+			if inFragmented {
+				// A partially written record at the tail of the log
+				// (crash mid-append): drop it silently, as LevelDB
+				// recovery does.
+				r.skipped += int64(len(record))
+				return nil, io.EOF
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			// Corruption: drop any partial record plus the rest of
+			// the damaged block, and resync at the next block.
+			r.skipped += int64(len(record)) + int64(len(r.buf))
+			record = record[:0]
+			inFragmented = false
+			r.buf = nil
+			continue
+		}
+		switch ftype {
+		case typeFull:
+			if inFragmented {
+				r.skipped += int64(len(record))
+			}
+			return payload, nil
+		case typeFirst:
+			if inFragmented {
+				r.skipped += int64(len(record))
+			}
+			record = append(record[:0], payload...)
+			inFragmented = true
+		case typeMiddle:
+			if !inFragmented {
+				r.skipped += int64(len(payload))
+				continue
+			}
+			record = append(record, payload...)
+		case typeLast:
+			if !inFragmented {
+				r.skipped += int64(len(payload))
+				continue
+			}
+			return append(record, payload...), nil
+		default:
+			r.skipped += int64(len(payload))
+		}
+	}
+}
+
+// nextFragment decodes one fragment, reading a new block as needed.
+func (r *Reader) nextFragment() (byte, []byte, error) {
+	for {
+		if len(r.buf) < headerSize {
+			// Trailer or empty: load the next block.
+			if r.eof {
+				return 0, nil, io.EOF
+			}
+			n, err := io.ReadFull(r.r, r.block[:])
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				r.eof = true
+			} else if err != nil {
+				return 0, nil, err
+			}
+			if n == 0 {
+				return 0, nil, io.EOF
+			}
+			r.buf = r.block[:n]
+			continue
+		}
+		hdr := r.buf[:headerSize]
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		ftype := hdr[6]
+		if ftype == 0 && length == 0 {
+			// Zeroed trailer (or preallocated tail): end of block.
+			r.buf = nil
+			continue
+		}
+		if headerSize+length > len(r.buf) {
+			return 0, nil, fmt.Errorf("%w: fragment length %d exceeds block remainder %d",
+				ErrCorrupt, length, len(r.buf)-headerSize)
+		}
+		payload := r.buf[headerSize : headerSize+length]
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		if fragmentCRC(ftype, payload) != wantCRC {
+			return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		r.buf = r.buf[headerSize+length:]
+		return ftype, payload, nil
+	}
+}

@@ -1,0 +1,33 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkZipfian(b *testing.B) {
+	g := NewZipfian(1 << 24)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(rng)
+	}
+}
+
+func BenchmarkScrambledZipfian(b *testing.B) {
+	g := NewScrambledZipfian(1 << 24)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(rng)
+	}
+}
+
+func BenchmarkLatest(b *testing.B) {
+	g := NewLatest(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(rng)
+	}
+}

@@ -1,0 +1,144 @@
+// Package ycsb reimplements the workload side of the Yahoo! Cloud
+// Serving Benchmark: the key-choice distributions (uniform, zipfian,
+// scrambled zipfian, latest) and the six core workloads A–F the paper
+// evaluates in Figure 9.
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Generator chooses item indexes in [0, n) under some distribution.
+type Generator interface {
+	// Next returns the next item index using rng.
+	Next(rng *rand.Rand) int64
+}
+
+// Uniform picks uniformly over [0, N).
+type Uniform struct{ N int64 }
+
+// Next implements Generator.
+func (u Uniform) Next(rng *rand.Rand) int64 { return rng.Int63n(u.N) }
+
+// zipfianConstant is YCSB's default skew.
+const zipfianConstant = 0.99
+
+// Zipfian implements Gray et al.'s incremental zipfian generator, the
+// algorithm YCSB uses. Item 0 is the most popular.
+type Zipfian struct {
+	items          int64
+	theta          float64
+	zetan          float64
+	zeta2theta     float64
+	alpha, eta     float64
+	countForZeta   int64
+	allowItemCount bool
+}
+
+// NewZipfian creates a zipfian generator over n items with the YCSB
+// default constant 0.99.
+func NewZipfian(n int64) *Zipfian {
+	z := &Zipfian{items: n, theta: zipfianConstant}
+	z.zeta2theta = zetaStatic(2, z.theta)
+	z.zetan = zetaStatic(n, z.theta)
+	z.countForZeta = n
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// grow extends the item space (used by the latest distribution as
+// inserts happen). Recomputing zeta incrementally per YCSB.
+func (z *Zipfian) grow(n int64) {
+	if n <= z.countForZeta {
+		return
+	}
+	// Incremental zeta update.
+	sum := z.zetan
+	for i := z.countForZeta; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), z.theta)
+	}
+	z.zetan = sum
+	z.countForZeta = n
+	z.items = n
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// ScrambledZipfian spreads zipfian popularity over the whole keyspace
+// by hashing, YCSB's default for workloads A–C and F.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n int64
+}
+
+// NewScrambledZipfian creates the generator over n items.
+func NewScrambledZipfian(n int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n), n: n}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) int64 {
+	v := s.z.Next(rng)
+	return int64(fnvHash64(uint64(v)) % uint64(s.n))
+}
+
+func fnvHash64(v uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Latest skews toward recently inserted items (workload D): the
+// zipfian offset is taken back from the newest item.
+type Latest struct {
+	z   *Zipfian
+	max int64
+}
+
+// NewLatest creates the generator over the current item count.
+func NewLatest(n int64) *Latest {
+	return &Latest{z: NewZipfian(n), max: n - 1}
+}
+
+// Next implements Generator.
+func (l *Latest) Next(rng *rand.Rand) int64 {
+	off := l.z.Next(rng)
+	v := l.max - off
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Grow tells the generator new items exist (after an insert).
+func (l *Latest) Grow(n int64) {
+	l.z.grow(n)
+	l.max = n - 1
+}

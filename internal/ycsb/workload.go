@@ -1,0 +1,191 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Store is the interface a key-value store exposes to the runner.
+type Store interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error) // must return nil error on hit
+	// ScanN reads up to n records starting at key and returns how
+	// many it saw.
+	ScanN(start []byte, n int) (int, error)
+}
+
+// Distribution names a request-key distribution.
+type Distribution int
+
+// Distributions used by the core workloads.
+const (
+	DistZipfian Distribution = iota
+	DistLatest
+	DistUniform
+)
+
+// Workload is a YCSB core workload definition: an operation mix plus
+// a request distribution.
+type Workload struct {
+	Name       string
+	ReadProp   float64
+	UpdateProp float64
+	InsertProp float64
+	ScanProp   float64
+	RMWProp    float64
+	Dist       Distribution
+	MaxScanLen int
+}
+
+// The six core workloads, as the paper describes them in Figure 9:
+// A = 50% reads / 50% updates, B = 95/5, C = 100% reads, D = 95%
+// reads / 5% inserts with the latest distribution, E = 95% scans / 5%
+// inserts, F = 50% reads / 50% read-modify-writes.
+var (
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, Dist: DistZipfian}
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, Dist: DistZipfian}
+	WorkloadC = Workload{Name: "C", ReadProp: 1.0, Dist: DistZipfian}
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, Dist: DistLatest}
+	WorkloadE = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, Dist: DistZipfian, MaxScanLen: 100}
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, Dist: DistZipfian}
+)
+
+// CoreWorkloads returns A–F in order.
+func CoreWorkloads() []Workload {
+	return []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops       int
+	Reads     int
+	Updates   int
+	Inserts   int
+	Scans     int
+	RMWs      int
+	NotFound  int
+	ScannedKV int
+}
+
+// Runner drives a workload against a store.
+type Runner struct {
+	store       Store
+	rng         *rand.Rand
+	valueSize   int
+	recordCount int64 // records inserted so far
+	keyBuf      []byte
+	valBuf      []byte
+}
+
+// NewRunner creates a runner producing valueSize-byte values.
+func NewRunner(store Store, valueSize int, seed int64) *Runner {
+	return &Runner{
+		store:     store,
+		rng:       rand.New(rand.NewSource(seed)),
+		valueSize: valueSize,
+		valBuf:    make([]byte, valueSize),
+	}
+}
+
+// Key formats item index i as a YCSB-style key.
+func Key(i int64) []byte {
+	return []byte(fmt.Sprintf("user%012d", i))
+}
+
+func (r *Runner) value() []byte {
+	r.rng.Read(r.valBuf)
+	return r.valBuf
+}
+
+// RecordCount returns how many records have been inserted.
+func (r *Runner) RecordCount() int64 { return r.recordCount }
+
+// Load inserts n records in key order (the YCSB load phase inserts
+// hashed keys; order does not matter for the store under test, so the
+// simple ascending order keeps loads reproducible).
+func (r *Runner) Load(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := r.store.Put(Key(i), r.value()); err != nil {
+			return err
+		}
+	}
+	r.recordCount = n
+	return nil
+}
+
+// LoadRandom inserts n records in uniformly random order, the
+// paper's random-load micro-benchmark.
+func (r *Runner) LoadRandom(n int64) error {
+	perm := r.rng.Perm(int(n))
+	for _, i := range perm {
+		if err := r.store.Put(Key(int64(i)), r.value()); err != nil {
+			return err
+		}
+	}
+	r.recordCount = n
+	return nil
+}
+
+// Run executes ops operations of the workload against the loaded
+// store.
+func (r *Runner) Run(w Workload, ops int) (Result, error) {
+	var res Result
+	var gen Generator
+	var latest *Latest
+	switch w.Dist {
+	case DistZipfian:
+		gen = NewScrambledZipfian(r.recordCount)
+	case DistLatest:
+		latest = NewLatest(r.recordCount)
+		gen = latest
+	case DistUniform:
+		gen = Uniform{N: r.recordCount}
+	}
+
+	for i := 0; i < ops; i++ {
+		res.Ops++
+		p := r.rng.Float64()
+		switch {
+		case p < w.ReadProp:
+			res.Reads++
+			if _, err := r.store.Get(Key(gen.Next(r.rng))); err != nil {
+				res.NotFound++
+			}
+		case p < w.ReadProp+w.UpdateProp:
+			res.Updates++
+			if err := r.store.Put(Key(gen.Next(r.rng)), r.value()); err != nil {
+				return res, err
+			}
+		case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+			res.Inserts++
+			if err := r.store.Put(Key(r.recordCount), r.value()); err != nil {
+				return res, err
+			}
+			r.recordCount++
+			if latest != nil {
+				latest.Grow(r.recordCount)
+			}
+		case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+			res.Scans++
+			n := 1
+			if w.MaxScanLen > 1 {
+				n = 1 + r.rng.Intn(w.MaxScanLen)
+			}
+			seen, err := r.store.ScanN(Key(gen.Next(r.rng)), n)
+			if err != nil {
+				return res, err
+			}
+			res.ScannedKV += seen
+		default:
+			res.RMWs++
+			k := Key(gen.Next(r.rng))
+			if _, err := r.store.Get(k); err != nil {
+				res.NotFound++
+			}
+			if err := r.store.Put(k, r.value()); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,252 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Uniform{N: 100}
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Roughly uniform: every bucket within 3x of the mean.
+	for i, c := range counts {
+		if c < 1000/3 || c > 3000 {
+			t.Errorf("bucket %d count %d far from uniform mean 1000", i, c)
+		}
+	}
+}
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 1000
+	g := NewZipfian(n)
+	counts := make([]int, n)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= n {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate; head heavier than tail.
+	if counts[0] < trials/20 {
+		t.Errorf("item 0 got %d of %d; zipfian head too light", counts[0], trials)
+	}
+	var head, tail int
+	for i := 0; i < n/10; i++ {
+		head += counts[i]
+	}
+	for i := n * 9 / 10; i < n; i++ {
+		tail += counts[i]
+	}
+	if head < 5*tail {
+		t.Errorf("head %d not >> tail %d", head, tail)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 1000
+	g := NewScrambledZipfian(n)
+	counts := map[int64]int{}
+	for i := 0; i < 100000; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= n {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Still skewed (few keys dominate) but the hottest keys must not
+	// be adjacent indexes.
+	type kc struct {
+		k int64
+		c int
+	}
+	var all []kc
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if all[0].c < 3*all[len(all)-1].c {
+		t.Error("scrambled zipfian lost its skew")
+	}
+	adjacent := 0
+	for i := 1; i < 10; i++ {
+		if d := all[i].k - all[i-1].k; d == 1 || d == -1 {
+			adjacent++
+		}
+	}
+	if adjacent > 3 {
+		t.Error("hot keys are adjacent; scrambling is not working")
+	}
+}
+
+func TestLatestPrefersRecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewLatest(1000)
+	newer, older := 0, 0
+	for i := 0; i < 50000; i++ {
+		v := g.Next(rng)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v >= 900 {
+			newer++
+		}
+		if v < 100 {
+			older++
+		}
+	}
+	if newer < 10*older {
+		t.Errorf("latest distribution: newest decile %d vs oldest %d", newer, older)
+	}
+	// Growing keeps bounds and preference.
+	g.Grow(2000)
+	for i := 0; i < 10000; i++ {
+		if v := g.Next(rng); v < 0 || v >= 2000 {
+			t.Fatalf("after grow: out of range %d", v)
+		}
+	}
+}
+
+func TestZetaIncrementalMatchesStatic(t *testing.T) {
+	z := NewZipfian(1000)
+	z.grow(1500)
+	want := zetaStatic(1500, zipfianConstant)
+	if math.Abs(z.zetan-want) > 1e-9 {
+		t.Errorf("incremental zeta %v != static %v", z.zetan, want)
+	}
+}
+
+// mapStore is an in-memory Store for runner tests.
+type mapStore struct {
+	m    map[string][]byte
+	keys []string // sorted lazily for scans
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[string][]byte{}} }
+
+func (s *mapStore) Put(k, v []byte) error {
+	if _, ok := s.m[string(k)]; !ok {
+		s.keys = append(s.keys, string(k))
+		sort.Strings(s.keys)
+	}
+	s.m[string(k)] = append([]byte(nil), v...)
+	return nil
+}
+
+func (s *mapStore) Get(k []byte) ([]byte, error) {
+	if v, ok := s.m[string(k)]; ok {
+		return v, nil
+	}
+	return nil, errNotFound
+}
+
+var errNotFound = bytes.ErrTooLarge // any sentinel
+
+func (s *mapStore) ScanN(start []byte, n int) (int, error) {
+	i := sort.SearchStrings(s.keys, string(start))
+	count := 0
+	for ; i < len(s.keys) && count < n; i++ {
+		count++
+	}
+	return count, nil
+}
+
+func TestRunnerLoadAndMix(t *testing.T) {
+	st := newMapStore()
+	r := NewRunner(st, 64, 7)
+	if err := r.Load(500); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.m) != 500 {
+		t.Fatalf("loaded %d records", len(st.m))
+	}
+
+	res, err := r.Run(WorkloadA, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Errorf("ops %d", res.Ops)
+	}
+	// 50/50 split within tolerance.
+	if res.Reads < 800 || res.Reads > 1200 || res.Updates < 800 || res.Updates > 1200 {
+		t.Errorf("workload A mix off: %+v", res)
+	}
+	if res.NotFound > 0 {
+		t.Errorf("reads missed %d times on a fully loaded store", res.NotFound)
+	}
+}
+
+func TestRunnerWorkloadDInsertsAreReadable(t *testing.T) {
+	st := newMapStore()
+	r := NewRunner(st, 16, 9)
+	r.Load(200)
+	res, err := r.Run(WorkloadD, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 {
+		t.Fatal("workload D never inserted")
+	}
+	if int64(len(st.m)) != r.RecordCount() {
+		t.Errorf("record count %d != store size %d", r.RecordCount(), len(st.m))
+	}
+	if res.NotFound > res.Reads/10 {
+		t.Errorf("too many misses under latest distribution: %+v", res)
+	}
+}
+
+func TestRunnerWorkloadEScans(t *testing.T) {
+	st := newMapStore()
+	r := NewRunner(st, 16, 11)
+	r.Load(300)
+	res, err := r.Run(WorkloadE, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scans == 0 || res.ScannedKV == 0 {
+		t.Errorf("workload E did not scan: %+v", res)
+	}
+	if res.Scans < 400 {
+		t.Errorf("scan proportion off: %+v", res)
+	}
+}
+
+func TestRunnerLoadRandomCoversKeyspace(t *testing.T) {
+	st := newMapStore()
+	r := NewRunner(st, 16, 13)
+	if err := r.LoadRandom(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.m) != 400 {
+		t.Fatalf("loaded %d", len(st.m))
+	}
+	for i := int64(0); i < 400; i++ {
+		if _, err := st.Get(Key(i)); err != nil {
+			t.Fatalf("key %d missing after random load", i)
+		}
+	}
+}
+
+func TestWorkloadProportionsSumToOne(t *testing.T) {
+	for _, w := range CoreWorkloads() {
+		sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("workload %s proportions sum to %v", w.Name, sum)
+		}
+	}
+}
