@@ -18,12 +18,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"sealdb/internal/bench"
 	"sealdb/internal/kv"
 	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func main() {
 		csvPath = flag.String("csv", "", "write figure series data (figs 2, 10, 11, 13) as CSV to this file")
 		gc      = flag.Bool("gc", false, "also run the dynamic-band GC ablation (DefragmentBands)")
 		latency = flag.Bool("latency", false, "also run the per-operation latency profile")
+		serve   = flag.String("serve", "", "serve /metrics and /debug for the store currently under test on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -56,6 +60,27 @@ func main() {
 	if *ops > 0 {
 		o.ReadOps = *ops
 		o.YCSBOps = *ops
+	}
+
+	// The harness opens a fresh store per experiment; -serve follows
+	// whichever one is currently under test.
+	var current atomic.Pointer[lsm.DB]
+	if *serve != "" {
+		o.Observe = func(db *lsm.DB) { current.Store(db) }
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			db := current.Load()
+			if db == nil {
+				http.Error(w, "no store under test yet", http.StatusServiceUnavailable)
+				return
+			}
+			db.ObsHandler().ServeHTTP(w, r)
+		})
+		srv, err := obs.Serve(*serve, h)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("# serving http://%s/metrics for the store under test\n", srv.Addr)
 	}
 
 	want := map[string]bool{}

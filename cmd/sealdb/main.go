@@ -20,6 +20,7 @@ import (
 
 	"sealdb"
 	"sealdb/internal/kv"
+	"sealdb/internal/obs"
 	"sealdb/internal/smr"
 	"sealdb/internal/ycsb"
 )
@@ -38,6 +39,7 @@ func main() {
 		stats  = flag.Bool("stats", false, "print engine and device statistics")
 		verify = flag.Bool("verify", false, "run the integrity check (fsck) before exiting")
 		defrag = flag.Bool("defrag", false, "run the dynamic-band GC pass (sealdb mode only)")
+		serve  = flag.String("serve", "", "serve /metrics and /debug endpoints on this address (e.g. :8080) after running the operations")
 		seed   = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -143,6 +145,15 @@ func main() {
 	}
 	if *stats {
 		printStats(db)
+	}
+
+	if *serve != "" {
+		srv, err := obs.Serve(*serve, db.ObsHandler())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving http://%s/metrics (and /debug/levels, /debug/sets, /debug/events); ctrl-c to stop\n", srv.Addr)
+		select {}
 	}
 }
 

@@ -1,12 +1,14 @@
 // Command smrtrace loads a store while tracing every device access
 // attributed to a compaction, and dumps the placement data behind the
-// paper's layout figures (2, 11, 13) as CSV on stdout.
+// paper's layout figures (2, 11, 13) on stdout — as CSV by default,
+// or as JSON lines with -format json.
 //
 // Usage:
 //
 //	smrtrace -mode leveldb -mb 32 > fig2.csv    # Figure 2
 //	smrtrace -mode sealdb  -mb 32 > fig11.csv   # Figure 11
 //	smrtrace -mode sealdb  -mb 32 -bands > fig13.csv
+//	smrtrace -mode sealdb  -mb 32 -format json > fig11.jsonl
 package main
 
 import (
@@ -16,17 +18,23 @@ import (
 
 	"sealdb/internal/bench"
 	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
 )
 
 func main() {
 	var (
-		mode  = flag.String("mode", "sealdb", "engine mode: leveldb, leveldb+sets, smrdb, sealdb")
-		mb    = flag.Int64("mb", 0, "load size in MiB")
-		sst   = flag.Int64("sst", 0, "SSTable size in bytes")
-		bands = flag.Bool("bands", false, "dump the dynamic band census (Fig 13) instead of the write trace")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		mode   = flag.String("mode", "sealdb", "engine mode: leveldb, leveldb+sets, smrdb, sealdb")
+		mb     = flag.Int64("mb", 0, "load size in MiB")
+		sst    = flag.Int64("sst", 0, "SSTable size in bytes")
+		bands  = flag.Bool("bands", false, "dump the dynamic band census (Fig 13) instead of the write trace")
+		format = flag.String("format", "csv", "output format: csv or json (JSON lines)")
+		seed   = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
+	if *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "smrtrace: unknown format %q (want csv or json)\n", *format)
+		os.Exit(2)
+	}
 
 	o := bench.DefaultOptions()
 	o.Seed = *seed
@@ -63,6 +71,16 @@ func main() {
 			os.Exit(1)
 		}
 		bench.PrintFig13(os.Stderr, res)
+		if *format == "json" {
+			enc := obs.NewJSONLines(os.Stdout)
+			for _, p := range points {
+				if err := enc.Encode(p); err != nil {
+					fmt.Fprintln(os.Stderr, "smrtrace:", err)
+					os.Exit(1)
+				}
+			}
+			return
+		}
 		fmt.Println("band,offset_mb,length_kb")
 		for _, p := range points {
 			fmt.Printf("%d,%.3f,%.3f\n", p.Compaction, p.OffsetMB, p.LengthKB)
@@ -76,5 +94,15 @@ func main() {
 		os.Exit(1)
 	}
 	bench.PrintLayout(os.Stderr, "layout", r)
+	if *format == "json" {
+		enc := obs.NewJSONLines(os.Stdout)
+		for _, p := range r.Points {
+			if err := enc.Encode(p); err != nil {
+				fmt.Fprintln(os.Stderr, "smrtrace:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	bench.WriteLayoutCSV(os.Stdout, r)
 }

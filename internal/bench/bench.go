@@ -34,6 +34,11 @@ type Options struct {
 	YCSBOps int
 	// Seed drives every generator.
 	Seed int64
+	// Observe, when set, is called with every store the harness opens,
+	// before the experiment runs on it. The -serve flag uses it to point
+	// the live /metrics endpoint at whichever store is currently under
+	// test.
+	Observe func(*lsm.DB)
 }
 
 // DefaultOptions returns the canonical experiment scale: the 1/16
@@ -78,7 +83,11 @@ func (o Options) config(mode lsm.Mode) lsm.Config {
 
 // openStore builds a fresh store of the given mode.
 func (o Options) openStore(mode lsm.Mode) (*lsm.DB, error) {
-	return lsm.Open(o.config(mode))
+	db, err := lsm.Open(o.config(mode))
+	if err == nil && o.Observe != nil {
+		o.Observe(db)
+	}
+	return db, err
 }
 
 // storeAdapter adapts *lsm.DB to ycsb.Store.

@@ -17,9 +17,9 @@ import (
 // LayoutPoint is one SSTable write of one compaction: the data behind
 // the scatter plots of Figures 2 (LevelDB) and 11 (SEALDB).
 type LayoutPoint struct {
-	Compaction int64
-	OffsetMB   float64
-	LengthKB   float64
+	Compaction int64   `json:"compaction"`
+	OffsetMB   float64 `json:"offset_mb"`
+	LengthKB   float64 `json:"length_kb"`
 }
 
 // LayoutResult summarizes a layout trace.

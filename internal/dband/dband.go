@@ -70,6 +70,12 @@ type Manager struct {
 	freeByte int64             // total bytes in the free list
 
 	stats Stats
+
+	// observer, when set, sees every allocator event: op is
+	// "alloc_append" (frontier), "alloc_insert" (free-list reuse) or
+	// "free". Called with the manager lock held; the observer must
+	// not call back into the manager.
+	observer func(op string, e Extent)
 }
 
 // list is an intrusive doubly-linked list of regions.
@@ -121,6 +127,22 @@ func New(capacity, unit, guard int64) *Manager {
 		classes:  make([]list, n),
 		byStart:  make(map[int64]*region),
 		byEnd:    make(map[int64]*region),
+	}
+}
+
+// SetObserver installs fn to observe allocator events (nil removes
+// it). fn runs with the manager lock held and must not call back into
+// the manager.
+func (m *Manager) SetObserver(fn func(op string, e Extent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observer = fn
+}
+
+// notify reports an event to the observer. Caller holds m.mu.
+func (m *Manager) notify(op string, e Extent) {
+	if m.observer != nil {
+		m.observer(op, e)
 	}
 }
 
@@ -182,6 +204,7 @@ func (m *Manager) Alloc(size int64) (Extent, bool, error) {
 		if rem > m.guard {
 			m.stats.Splits++
 		}
+		m.notify("alloc_insert", ext)
 		return ext, true, nil
 	}
 
@@ -191,6 +214,7 @@ func (m *Manager) Alloc(size int64) (Extent, bool, error) {
 	ext := Extent{Off: m.frontier, Len: size}
 	m.frontier += size
 	m.stats.Appends++
+	m.notify("alloc_append", ext)
 	return ext, false, nil
 }
 
@@ -227,6 +251,7 @@ func (m *Manager) Free(e Extent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Frees++
+	m.notify("free", e)
 
 	off, end := e.Off, e.End()
 	if up := m.byEnd[off]; up != nil {

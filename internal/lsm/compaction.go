@@ -147,6 +147,10 @@ func (d *DB) runCompaction(c *compaction) error {
 	d.compID++
 	id := d.compID
 	startBusy := d.disk.Stats().BusyTime
+	sp := d.journal.Begin("compaction", 0)
+	sp.Set("id", int64(id))
+	sp.Set("from", int64(c.level))
+	sp.Set("to", int64(c.outLevel))
 
 	if c.trivial {
 		f := c.inputs0[0]
@@ -165,6 +169,9 @@ func (d *DB) runCompaction(c *compaction) error {
 			ID: id, FromLevel: c.level, ToLevel: c.outLevel,
 			Inputs0: 1, TrivialMove: true,
 		})
+		d.metrics.trivialMoves.Inc()
+		sp.Set("trivial", 1)
+		sp.End()
 		return nil
 	}
 
@@ -197,6 +204,7 @@ func (d *DB) runCompaction(c *compaction) error {
 			rec := version.SetRecord{ID: nums[0], Off: ext.Off, Len: ext.Len, Members: len(nums)}
 			newSet = &rec
 			d.sets.register(rec, nums)
+			d.metrics.setsCreated.Inc()
 		}
 	} else {
 		for i := range outputs {
@@ -240,23 +248,23 @@ func (d *DB) runCompaction(c *compaction) error {
 		if ext, setID, emptied := d.sets.fileInvalid(f.Num); emptied {
 			edit.DropSets = append(edit.DropSets, setID)
 			freedExtents = append(freedExtents, ext)
+			d.metrics.setsDropped.Inc()
 		}
 	}
 	if err := d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
 
-	// Reclaim space: ungrouped inputs free immediately via Remove;
-	// grouped inputs were only forgotten, and their extents return to
-	// the free list when their whole set died.
-	for _, f := range allInputs {
-		d.dropTable(f.Num)
-		d.backend.Remove(f.Num)
+	// Reclaim space: ungrouped inputs free via Remove; grouped inputs
+	// were only forgotten, and their extents return to the free list
+	// when their whole set died. Deferred while iterators that may
+	// still read the inputs are live (see pins.go).
+	inputNums := make([]uint64, len(allInputs))
+	for i, f := range allInputs {
+		inputNums[i] = f.Num
 	}
-	for _, ext := range freedExtents {
-		if err := d.backend.FreeExtent(ext); err != nil {
-			return err
-		}
+	if err := d.reclaim(inputNums, freedExtents); err != nil {
+		return err
 	}
 
 	placements := make([]storage.Extent, 0, len(outputs))
@@ -266,6 +274,7 @@ func (d *DB) runCompaction(c *compaction) error {
 		}
 	}
 	inBytes := c.inputBytes()
+	lat := d.disk.Stats().BusyTime - startBusy
 	d.stats.CompactionCount++
 	d.stats.CompactionReadBytes += inBytes
 	d.stats.CompactionWriteBytes += outBytes
@@ -274,9 +283,20 @@ func (d *DB) runCompaction(c *compaction) error {
 		Inputs0: len(c.inputs0), Inputs1: len(c.inputs1),
 		InputBytes: inBytes, OutputBytes: outBytes,
 		OutputFiles:      len(outputs),
-		Latency:          d.disk.Stats().BusyTime - startBusy,
+		Latency:          lat,
 		OutputPlacements: placements,
 	})
+	d.metrics.compactions.Inc()
+	d.metrics.compactionReadBytes.Add(inBytes)
+	d.metrics.compactionWriteBytes.Add(outBytes)
+	d.metrics.compactionLatency.Observe(int64(lat))
+	sp.Set("input_bytes", inBytes)
+	sp.Set("output_bytes", outBytes)
+	sp.Set("output_files", int64(len(outputs)))
+	if newSet != nil {
+		sp.Set("set", int64(newSet.ID))
+	}
+	sp.End()
 	return nil
 }
 

@@ -151,6 +151,9 @@ type Config struct {
 	Compression sstable.Compression
 	// Seed makes skiplist heights (and nothing else) deterministic.
 	Seed int64
+	// JournalCapacity bounds the observability event journal ring
+	// (0 means the default of 4096 events).
+	JournalCapacity int
 }
 
 // DefaultConfig returns a config for the given mode with the scaled

@@ -11,6 +11,7 @@ import (
 	"sealdb/internal/extfs"
 	"sealdb/internal/kv"
 	"sealdb/internal/memtable"
+	"sealdb/internal/obs"
 	"sealdb/internal/platter"
 	"sealdb/internal/smr"
 	"sealdb/internal/sstable"
@@ -92,6 +93,12 @@ type DB struct {
 	cache   *sstable.Cache
 	vs      *version.Set
 
+	// reg, journal and metrics are internally synchronized; they are
+	// written once by initObs and safe to use without d.mu.
+	reg     *obs.Registry
+	journal *obs.Journal
+	metrics dbMetrics
+
 	mu        sync.Mutex
 	tableLRU  []uint64 // open-table recency, most recent last
 	mem       *memtable.MemTable
@@ -107,6 +114,12 @@ type DB struct {
 	stats     Stats
 	compID    int
 	closed    bool
+
+	// Iterator pinning (see pins.go): live iterators defer reclamation
+	// of the table files they may still read.
+	iterEpoch uint64
+	iterPins  map[uint64]int
+	reclaims  []pendingReclaim
 }
 
 // Open creates a fresh database on a new emulated device.
@@ -137,9 +150,11 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 		tables:    map[uint64]*sstable.Table{},
 		sets:      newSetRegistry(),
 		snapshots: map[kv.SeqNum]int{},
+		iterPins:  map[uint64]int{},
 		memSeed:   cfg.Seed,
 	}
 	d.mem = memtable.New(d.nextMemSeed())
+	d.initObs()
 
 	vcfg := version.Config{
 		Backend:      d.backend,
@@ -302,6 +317,10 @@ func (d *DB) Close() error {
 		return ErrClosed
 	}
 	d.closed = true
+	// No iterator can read past Close; run anything they deferred so
+	// the device holds no unreachable files.
+	d.iterPins = map[uint64]int{}
+	d.runReclaims()
 	d.tables = map[uint64]*sstable.Table{}
 	return nil
 }

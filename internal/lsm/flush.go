@@ -14,6 +14,7 @@ func (d *DB) flushMemtable(mem *memtable.MemTable, newLogNum uint64) error {
 		return nil
 	}
 	startBusy := d.disk.Stats().BusyTime
+	sp := d.journal.Begin("flush", 0)
 
 	b := sstable.NewBuilder().SetCompression(d.cfg.Compression)
 	it := mem.NewIterator()
@@ -45,6 +46,7 @@ func (d *DB) flushMemtable(mem *memtable.MemTable, newLogNum uint64) error {
 		return err
 	}
 
+	lat := d.disk.Stats().BusyTime - startBusy
 	d.compID++
 	d.stats.FlushCount++
 	d.stats.FlushBytes += meta.Size
@@ -54,8 +56,14 @@ func (d *DB) flushMemtable(mem *memtable.MemTable, newLogNum uint64) error {
 		ToLevel:     0,
 		OutputBytes: meta.Size,
 		OutputFiles: 1,
-		Latency:     d.disk.Stats().BusyTime - startBusy,
+		Latency:     lat,
 		Flush:       true,
 	})
+	d.metrics.flushes.Inc()
+	d.metrics.flushBytes.Add(meta.Size)
+	d.metrics.flushLatency.Observe(int64(lat))
+	sp.Set("table", int64(num))
+	sp.Set("bytes", meta.Size)
+	sp.End()
 	return nil
 }

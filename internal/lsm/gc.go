@@ -47,6 +47,8 @@ func (d *DB) DefragmentBands(maxMoves int) (GCResult, error) {
 	// useful insert: one SSTable plus its guard (Equation 1).
 	threshold := d.cfg.SSTableSize + d.cfg.GuardSize
 	res.FragmentsBefore = mgr.FragmentBytes(threshold)
+	sp := d.journal.Begin("band_gc", 0)
+	sp.Set("fragments_before", res.FragmentsBefore)
 
 	// Index live sets by their extent start, and member files by set.
 	records := d.vs.Sets()
@@ -95,7 +97,7 @@ func (d *DB) DefragmentBands(maxMoves int) (GCResult, error) {
 		if maxMoves > 0 && res.SetsMoved >= maxMoves {
 			break
 		}
-		moved, err := d.relocateSet(vic.rec, members[vic.rec.ID], levels[vic.rec.ID])
+		moved, err := d.relocateSet(vic.rec, members[vic.rec.ID], levels[vic.rec.ID], sp.ID())
 		if err != nil {
 			return res, err
 		}
@@ -103,16 +105,26 @@ func (d *DB) DefragmentBands(maxMoves int) (GCResult, error) {
 		res.BytesMoved += moved
 	}
 	res.FragmentsAfter = mgr.FragmentBytes(threshold)
+	d.metrics.bandGCPasses.Inc()
+	d.metrics.bandGCMoves.Add(int64(res.SetsMoved))
+	d.metrics.bandGCBytes.Add(res.BytesMoved)
+	sp.Set("sets_moved", int64(res.SetsMoved))
+	sp.Set("bytes_moved", res.BytesMoved)
+	sp.Set("fragments_after", res.FragmentsAfter)
+	sp.End()
 	return res, nil
 }
 
 // relocateSet rewrites a set's live members into a fresh contiguous
 // extent and frees the old one, letting the adjacent fragment
-// coalesce. Caller holds d.mu.
-func (d *DB) relocateSet(rec version.SetRecord, files []*version.FileMeta, levelOf map[uint64]int) (int64, error) {
+// coalesce. parent links the migration span to its band-GC pass.
+// Caller holds d.mu.
+func (d *DB) relocateSet(rec version.SetRecord, files []*version.FileMeta, levelOf map[uint64]int, parent uint64) (int64, error) {
 	if len(files) == 0 {
 		return 0, fmt.Errorf("lsm: relocating set %d with no live members", rec.ID)
 	}
+	msp := d.journal.Begin("set_migration", parent)
+	msp.Set("set", int64(rec.ID))
 	// Read the members in physical order (one sequential pass over
 	// the old extent).
 	sorted := append([]*version.FileMeta(nil), files...)
@@ -179,5 +191,9 @@ func (d *DB) relocateSet(rec version.SetRecord, files []*version.FileMeta, level
 	}
 	d.stats.GCMoves++
 	d.stats.GCBytes += moved
+	msp.Set("new_set", int64(newID))
+	msp.Set("bytes", moved)
+	msp.Set("members", int64(len(nums)))
+	msp.End()
 	return moved, nil
 }

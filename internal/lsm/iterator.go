@@ -273,14 +273,16 @@ var _ kv.Iterator = (*concatIter)(nil)
 // Iterator is the user-facing forward iterator: it surfaces the
 // newest visible version of each live user key at its snapshot.
 type Iterator struct {
-	d    *DB
-	m    *mergingIter
-	seq  kv.SeqNum
-	key  []byte
-	val  []byte
-	ok   bool
-	err  error
-	snap *Snapshot // released on Close when the iterator owns it
+	d     *DB
+	m     *mergingIter
+	seq   kv.SeqNum
+	epoch uint64 // reclamation epoch pinned until Close (see pins.go)
+	key   []byte
+	val   []byte
+	ok    bool
+	err   error
+	done  bool      // Close ran: the pin is released
+	snap  *Snapshot // released on Close when the iterator owns it
 }
 
 // NewIterator returns an iterator over the current state. The
@@ -314,7 +316,7 @@ func (d *DB) NewSnapshotIterator(snap *Snapshot) *Iterator {
 			}
 		}
 	}
-	return &Iterator{d: d, m: newMergingIter(children...), seq: snap.seq}
+	return &Iterator{d: d, m: newMergingIter(children...), seq: snap.seq, epoch: d.pinIter()}
 }
 
 // lazyTableIter defers opening a table until first use.
@@ -522,11 +524,19 @@ func (it *Iterator) Value() []byte { return it.val }
 // Error reports an iteration error.
 func (it *Iterator) Error() error { return it.err }
 
-// Close releases the iterator's snapshot.
+// Close releases the iterator's snapshot and its pin on the files it
+// was reading, letting deferred compaction reclamation run. Closing
+// twice is a no-op.
 func (it *Iterator) Close() {
 	if it.snap != nil {
 		it.snap.Release()
 		it.snap = nil
+	}
+	if !it.done {
+		it.done = true
+		it.d.mu.Lock()
+		it.d.unpinIter(it.epoch)
+		it.d.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,232 @@
+package lsm
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"sealdb/internal/dband"
+	"sealdb/internal/obs"
+	"sealdb/internal/smr"
+)
+
+// dbMetrics holds the engine's hot-path metric handles so
+// instrumentation sites pay one atomic add, not a registry lookup.
+type dbMetrics struct {
+	writes, writeBytes   *obs.Counter
+	gets, getHits        *obs.Counter
+	flushes, flushBytes  *obs.Counter
+	compactions          *obs.Counter
+	compactionReadBytes  *obs.Counter
+	compactionWriteBytes *obs.Counter
+	trivialMoves         *obs.Counter
+	setsCreated          *obs.Counter
+	setsDropped          *obs.Counter
+	bandGCPasses         *obs.Counter
+	bandGCMoves          *obs.Counter
+	bandGCBytes          *obs.Counter
+	walRotations         *obs.Counter
+
+	writeLatency      *obs.Histogram
+	readLatency       *obs.Histogram
+	flushLatency      *obs.Histogram
+	compactionLatency *obs.Histogram
+}
+
+// initObs builds the DB's metrics registry and event journal and
+// wires the device stack's observers into them. Called once from
+// OpenDevice, before recovery (so recovery flushes are journaled).
+func (d *DB) initObs() {
+	d.reg = obs.NewRegistry()
+	d.journal = obs.NewJournal(d.cfg.journalCapacity(), func() int64 {
+		return int64(d.disk.Stats().BusyTime)
+	})
+
+	m := &d.metrics
+	m.writes = d.reg.Counter("sealdb_writes_total")
+	m.writeBytes = d.reg.Counter("sealdb_write_bytes_total")
+	m.gets = d.reg.Counter("sealdb_gets_total")
+	m.getHits = d.reg.Counter("sealdb_get_hits_total")
+	m.flushes = d.reg.Counter("sealdb_flush_total")
+	m.flushBytes = d.reg.Counter("sealdb_flush_bytes_total")
+	m.compactions = d.reg.Counter("sealdb_compaction_total")
+	m.compactionReadBytes = d.reg.Counter("sealdb_compaction_read_bytes_total")
+	m.compactionWriteBytes = d.reg.Counter("sealdb_compaction_write_bytes_total")
+	m.trivialMoves = d.reg.Counter("sealdb_trivial_move_total")
+	m.setsCreated = d.reg.Counter("sealdb_sets_created_total")
+	m.setsDropped = d.reg.Counter("sealdb_sets_dropped_total")
+	m.bandGCPasses = d.reg.Counter("sealdb_band_gc_passes_total")
+	m.bandGCMoves = d.reg.Counter("sealdb_band_gc_moves_total")
+	m.bandGCBytes = d.reg.Counter("sealdb_band_gc_bytes_total")
+	m.walRotations = d.reg.Counter("sealdb_wal_rotations_total")
+	m.writeLatency = d.reg.Histogram("sealdb_write_latency_ns")
+	m.readLatency = d.reg.Histogram("sealdb_read_latency_ns")
+	m.flushLatency = d.reg.Histogram("sealdb_flush_latency_ns")
+	m.compactionLatency = d.reg.Histogram("sealdb_compaction_latency_ns")
+
+	d.registerGauges()
+	d.installDeviceObservers()
+}
+
+// journalCapacity returns the event-journal ring bound.
+func (c *Config) journalCapacity() int {
+	if c.JournalCapacity > 0 {
+		return c.JournalCapacity
+	}
+	return 4096
+}
+
+// registerGauges wires pull gauges over every subsystem's existing
+// counters. Gauge functions run at snapshot time and may take the
+// DB and subsystem locks; nothing calls MetricsSnapshot while holding
+// d.mu.
+func (d *DB) registerGauges() {
+	reg := d.reg
+
+	// Block cache and bloom-filter effectiveness (satellite: formerly
+	// private to sstable/cache.go).
+	reg.GaugeFunc("sealdb_cache_hits", func() float64 { return float64(d.cache.Stats().Hits) })
+	reg.GaugeFunc("sealdb_cache_misses", func() float64 { return float64(d.cache.Stats().Misses) })
+	reg.GaugeFunc("sealdb_cache_hit_ratio", func() float64 { return d.cache.Stats().HitRatio })
+	reg.GaugeFunc("sealdb_cache_used_bytes", func() float64 { return float64(d.cache.Stats().UsedBytes) })
+	reg.GaugeFunc("sealdb_bloom_negatives", func() float64 { return float64(d.cache.Stats().BloomNegatives) })
+	reg.GaugeFunc("sealdb_bloom_true_positives", func() float64 { return float64(d.cache.Stats().BloomTruePositives) })
+	reg.GaugeFunc("sealdb_bloom_false_positives", func() float64 { return float64(d.cache.Stats().BloomFalsePositives) })
+
+	// Device (platter) counters.
+	reg.GaugeFunc("sealdb_device_bytes_read", func() float64 { return float64(d.disk.Stats().BytesRead) })
+	reg.GaugeFunc("sealdb_device_bytes_written", func() float64 { return float64(d.disk.Stats().BytesWritten) })
+	reg.GaugeFunc("sealdb_device_read_ops", func() float64 { return float64(d.disk.Stats().ReadOps) })
+	reg.GaugeFunc("sealdb_device_write_ops", func() float64 { return float64(d.disk.Stats().WriteOps) })
+	reg.GaugeFunc("sealdb_device_seeks", func() float64 { return float64(d.disk.Stats().Seeks) })
+	reg.GaugeFunc("sealdb_device_busy_seconds", func() float64 { return d.disk.Stats().BusyTime.Seconds() })
+
+	// Drive-level amplification (the paper's Table I, live).
+	reg.GaugeFunc("sealdb_host_bytes_written", func() float64 { return float64(d.drive.HostBytesWritten()) })
+	reg.GaugeFunc("sealdb_wa", func() float64 { return d.Amplification().WA })
+	reg.GaugeFunc("sealdb_awa", func() float64 { return d.Amplification().AWA })
+	reg.GaugeFunc("sealdb_mwa", func() float64 { return d.Amplification().MWA })
+
+	// Storage backend activity.
+	reg.GaugeFunc("sealdb_storage_files", func() float64 { return float64(d.backend.NumFiles()) })
+	reg.GaugeFunc("sealdb_storage_files_written", func() float64 { return float64(d.backend.Stats().FilesWritten) })
+	reg.GaugeFunc("sealdb_storage_file_bytes", func() float64 { return float64(d.backend.Stats().FileBytes) })
+	reg.GaugeFunc("sealdb_storage_group_writes", func() float64 { return float64(d.backend.Stats().GroupWrites) })
+	reg.GaugeFunc("sealdb_storage_group_bytes", func() float64 { return float64(d.backend.Stats().GroupBytes) })
+	reg.GaugeFunc("sealdb_storage_removes", func() float64 { return float64(d.backend.Stats().Removes) })
+	reg.GaugeFunc("sealdb_storage_extent_frees", func() float64 { return float64(d.backend.Stats().ExtentFrees) })
+
+	// Engine state under d.mu: memtable, WAL, snapshots, sets, levels.
+	reg.GaugeFunc("sealdb_memtable_bytes", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(d.mem.ApproximateSize())
+	})
+	reg.GaugeFunc("sealdb_wal_size_bytes", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.walW == nil {
+			return 0
+		}
+		return float64(d.walW.Size())
+	})
+	reg.GaugeFunc("sealdb_wal_records", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.walW == nil {
+			return 0
+		}
+		return float64(d.walW.Records())
+	})
+	reg.GaugeFunc("sealdb_open_snapshots", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.snapshots))
+	})
+	reg.GaugeFunc("sealdb_live_sets", func() float64 { return float64(d.SetProfile().LiveSets) })
+	reg.GaugeFunc("sealdb_set_live_members", func() float64 { return float64(d.SetProfile().LiveMembers) })
+	reg.GaugeFunc("sealdb_set_invalid_members", func() float64 { return float64(d.SetProfile().InvalidMembers) })
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		level := l
+		reg.GaugeFunc(fmt.Sprintf("sealdb_level_%d_files", level), func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.vs.Current().NumFiles(level))
+		})
+		reg.GaugeFunc(fmt.Sprintf("sealdb_level_%d_bytes", level), func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.vs.Current().LevelBytes(level))
+		})
+	}
+
+	// Mode-specific device state.
+	if mgr := d.dev.DBand; mgr != nil {
+		reg.GaugeFunc("sealdb_dband_frontier_bytes", func() float64 { return float64(mgr.Frontier()) })
+		reg.GaugeFunc("sealdb_dband_free_bytes", func() float64 { return float64(mgr.FreeBytes()) })
+		reg.GaugeFunc("sealdb_dband_allocated_bytes", func() float64 { return float64(mgr.AllocatedBytes()) })
+		threshold := d.cfg.SSTableSize + d.cfg.GuardSize
+		reg.GaugeFunc("sealdb_dband_fragment_bytes", func() float64 { return float64(mgr.FragmentBytes(threshold)) })
+		reg.GaugeFunc("sealdb_dband_bands", func() float64 { return float64(len(mgr.Bands())) })
+		reg.GaugeFunc("sealdb_dband_appends", func() float64 { return float64(mgr.Stats().Appends) })
+		reg.GaugeFunc("sealdb_dband_inserts", func() float64 { return float64(mgr.Stats().Inserts) })
+		reg.GaugeFunc("sealdb_dband_frees", func() float64 { return float64(mgr.Stats().Frees) })
+		reg.GaugeFunc("sealdb_dband_coalesces", func() float64 { return float64(mgr.Stats().Coalesces) })
+	}
+	if fbd, ok := d.drive.(*smr.FixedBandDrive); ok {
+		reg.GaugeFunc("sealdb_media_cache_cleans", func() float64 { return float64(fbd.MediaCacheStats().Cleans) })
+		reg.GaugeFunc("sealdb_media_cache_clean_bytes", func() float64 { return float64(fbd.MediaCacheStats().CleanBytes) })
+		reg.GaugeFunc("sealdb_media_cache_staged_writes", func() float64 { return float64(fbd.MediaCacheStats().StagedWrites) })
+		reg.GaugeFunc("sealdb_media_cache_staged_bytes", func() float64 { return float64(fbd.MediaCacheStats().StagedBytes) })
+		reg.GaugeFunc("sealdb_media_cache_dirty_bands", func() float64 { return float64(fbd.MediaCacheStats().DirtyBands) })
+	}
+}
+
+// installDeviceObservers journals the device-stack events the
+// registry's gauges can only aggregate: media-cache cleaning RMWs and
+// dynamic-band allocator activity.
+func (d *DB) installDeviceObservers() {
+	if fbd, ok := d.drive.(*smr.FixedBandDrive); ok {
+		fbd.SetCleanObserver(func(band, bytes int64, dur time.Duration) {
+			d.journal.Record("media_cache_clean", map[string]int64{
+				"band": band, "bytes": bytes, "device_ns": int64(dur),
+			})
+		})
+	}
+	if mgr := d.dev.DBand; mgr != nil {
+		mgr.SetObserver(func(op string, e dband.Extent) {
+			d.journal.Record("dband_"+op, map[string]int64{
+				"off": e.Off, "len": e.Len,
+			})
+		})
+	}
+}
+
+// MetricsSnapshot captures every metric — engine counters and
+// latency histograms plus the pull gauges over the device stack — at
+// one point in time. It is the same data the /metrics endpoint
+// serves. Do not call while holding the DB's own callbacks.
+func (d *DB) MetricsSnapshot() *obs.Snapshot {
+	return d.reg.Snapshot()
+}
+
+// Events returns the journaled engine events (flushes, compactions,
+// set migrations, band GC, media-cache cleans, dynamic-band allocator
+// activity), oldest first. Timestamps are simulated device
+// nanoseconds.
+func (d *DB) Events() []obs.Event {
+	return d.journal.Events()
+}
+
+// ObsHandler returns the observability HTTP handler: /metrics
+// (Prometheus text, or JSON with ?format=json), /debug/levels,
+// /debug/sets, and /debug/events. The cmd drivers mount it behind
+// their -serve flag.
+func (d *DB) ObsHandler() http.Handler {
+	m := obs.NewMux()
+	m.HandleMetrics("/metrics", d.MetricsSnapshot)
+	m.HandleJSON("/debug/levels", func() any { return d.LevelProfile() })
+	m.HandleJSON("/debug/sets", func() any { return d.SetProfile() })
+	m.HandleJSON("/debug/events", func() any { return d.Events() })
+	return m
+}

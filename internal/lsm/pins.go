@@ -1,0 +1,91 @@
+package lsm
+
+import "sealdb/internal/storage"
+
+// Iterators capture the file set of the version current at their
+// creation and reopen tables lazily between locked operations, so a
+// compaction must not reclaim its input files while such an iterator
+// is live. This is LevelDB's version reference count reduced to the
+// single-mutex design: versions themselves need no refs because only
+// file deletion (and dead-set extent frees) can hurt a reader.
+//
+// Each iterator pins the epoch current at its creation. A compaction
+// that retires files while any iterator is live queues a
+// pendingReclaim tagged with that epoch and bumps it; the reclaim
+// runs once every iterator pinned at or before its epoch has closed.
+// Iterators created after the bump were built from a version that no
+// longer references the retired files, so they never block it.
+
+// pendingReclaim is file and extent reclamation deferred past live
+// iterators.
+type pendingReclaim struct {
+	epoch   uint64
+	files   []uint64
+	extents []storage.Extent
+}
+
+// pinIter registers a live iterator and returns the epoch it pins.
+// Caller holds d.mu.
+func (d *DB) pinIter() uint64 {
+	e := d.iterEpoch
+	d.iterPins[e]++
+	return e
+}
+
+// unpinIter drops an iterator's pin and runs any reclamation it was
+// blocking. Caller holds d.mu.
+func (d *DB) unpinIter(epoch uint64) {
+	if n := d.iterPins[epoch]; n > 1 {
+		d.iterPins[epoch] = n - 1
+		return
+	}
+	delete(d.iterPins, epoch)
+	d.runReclaims()
+}
+
+// reclaim frees retired table files and dead-set extents, now if no
+// iterator can still read them, deferred otherwise. Caller holds d.mu.
+func (d *DB) reclaim(files []uint64, extents []storage.Extent) error {
+	if len(d.iterPins) == 0 {
+		return d.reclaimNow(files, extents)
+	}
+	d.reclaims = append(d.reclaims, pendingReclaim{
+		epoch: d.iterEpoch, files: files, extents: extents,
+	})
+	d.iterEpoch++
+	return nil
+}
+
+// reclaimNow performs the reclamation. Caller holds d.mu.
+func (d *DB) reclaimNow(files []uint64, extents []storage.Extent) error {
+	for _, num := range files {
+		d.dropTable(num)
+		d.backend.Remove(num)
+	}
+	for _, ext := range extents {
+		if err := d.backend.FreeExtent(ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReclaims runs every pending reclamation that no live iterator
+// blocks. Caller holds d.mu.
+func (d *DB) runReclaims() {
+	min := ^uint64(0)
+	for e := range d.iterPins {
+		if e < min {
+			min = e
+		}
+	}
+	for len(d.reclaims) > 0 && d.reclaims[0].epoch < min {
+		p := d.reclaims[0]
+		d.reclaims = d.reclaims[1:]
+		if err := d.reclaimNow(p.files, p.extents); err != nil {
+			// The space is leaked but the store is consistent; there
+			// is no caller to hand the error to.
+			d.journal.Record("reclaim_error", map[string]int64{"epoch": int64(p.epoch)})
+		}
+	}
+}

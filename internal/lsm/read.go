@@ -12,7 +12,7 @@ func (d *DB) Get(key []byte) ([]byte, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
-	return d.getLocked(key, d.seq)
+	return d.getObserved(key, d.seq)
 }
 
 // GetAt returns the value of key as of the given snapshot.
@@ -22,7 +22,21 @@ func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
-	return d.getLocked(key, snap.seq)
+	return d.getObserved(key, snap.seq)
+}
+
+// getObserved wraps getLocked with the read-path metrics: a count, a
+// hit count, and the simulated device time the lookup consumed.
+// Caller holds d.mu.
+func (d *DB) getObserved(key []byte, seq kv.SeqNum) ([]byte, error) {
+	startBusy := d.disk.Stats().BusyTime
+	v, err := d.getLocked(key, seq)
+	d.metrics.gets.Inc()
+	if err == nil {
+		d.metrics.getHits.Inc()
+	}
+	d.metrics.readLatency.Observe(int64(d.disk.Stats().BusyTime - startBusy))
+	return v, err
 }
 
 // getLocked is the LevelDB read path: memtable, then level 0 newest

@@ -34,6 +34,7 @@ func (d *DB) Apply(b *Batch) error {
 	if d.closed {
 		return ErrClosed
 	}
+	startBusy := d.disk.Stats().BusyTime
 	if err := d.makeRoomForWrite(b.Size()); err != nil {
 		return err
 	}
@@ -51,6 +52,11 @@ func (d *DB) Apply(b *Batch) error {
 	}
 	d.stats.UserBytes += b.bytes
 	d.stats.UserWrites += int64(b.Len())
+	d.metrics.writes.Add(int64(b.Len()))
+	d.metrics.writeBytes.Add(b.bytes)
+	// Write latency includes any rotation/compaction stall the batch
+	// absorbed in makeRoomForWrite — the user-visible cost.
+	d.metrics.writeLatency.Observe(int64(d.disk.Stats().BusyTime - startBusy))
 	return nil
 }
 
@@ -101,6 +107,10 @@ func (d *DB) rotateAndFlush(walBytes int64) error {
 		return err
 	}
 	d.backend.Remove(oldWalNum)
+	d.metrics.walRotations.Inc()
+	d.journal.Record("wal_rotate", map[string]int64{
+		"num": int64(num), "old": int64(oldWalNum),
+	})
 	return nil
 }
 

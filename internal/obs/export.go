@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format, metrics in lexical order. Histograms use the standard
+// cumulative-bucket encoding with `le` upper bounds.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders any value as indented JSON, the format the
+// /debug endpoints and -format json dumps share.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// JSONLines encodes one value per line (the JSON Lines format), used
+// for streaming dumps such as smrtrace's trace output.
+type JSONLines struct {
+	enc *json.Encoder
+}
+
+// NewJSONLines creates a JSON Lines encoder over w.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{enc: json.NewEncoder(w)}
+}
+
+// Encode writes one value as a single line of JSON.
+func (e *JSONLines) Encode(v any) error { return e.enc.Encode(v) }

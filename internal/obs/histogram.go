@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: values 0..15 get one exact bucket each;
+// larger values are bucketed by power of two with 16 sub-buckets per
+// octave (HDR-histogram style), bounding the relative quantile error
+// at 1/16 ≈ 6.25%. Memory is fixed at ~8 KiB per histogram, unlike a
+// sample-retaining histogram whose memory grows with the run.
+const (
+	histSubBuckets = 16
+	histSubBits    = 4
+	// exponents 4..63 each contribute histSubBuckets buckets, after
+	// the 16 exact small-value buckets.
+	histNumBuckets = histSubBuckets + (63-histSubBits+1)*histSubBuckets
+)
+
+// Histogram is a concurrent fixed-memory histogram of non-negative
+// int64 observations (typically latencies in nanoseconds). Negative
+// observations are clamped to zero.
+type Histogram struct {
+	counts [histNumBuckets]atomic.Uint64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid when count > 0
+	max    atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int((uint64(v) >> (uint(exp) - histSubBits)) & (histSubBuckets - 1))
+	return histSubBuckets*(exp-histSubBits) + sub + histSubBuckets
+}
+
+// bucketUpperBound returns the largest value the bucket holds.
+func bucketUpperBound(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	idx -= histSubBuckets
+	exp := uint(idx/histSubBuckets) + histSubBits
+	sub := uint64(idx % histSubBuckets)
+	ub := (histSubBuckets+sub+1)<<(exp-histSubBits) - 1
+	if ub > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(ub)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the largest value the bucket covers (inclusive).
+	UpperBound int64 `json:"le"`
+	// Count is the number of observations in this bucket alone.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Only
+// non-empty buckets are materialized.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram state. Concurrent Observes during the
+// copy may or may not be included; each bucket read is atomic.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: bucketUpperBound(i), Count: n})
+		}
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the upper bound
+// of the bucket holding the nearest-rank observation, clamped to the
+// exact observed maximum. Zero observations yield zero.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if b.UpperBound > s.Max {
+				return s.Max
+			}
+			return b.UpperBound
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average observation.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// Mux routes the observability endpoints. It is a thin wrapper over
+// http.ServeMux with helpers for the two payload shapes: a metrics
+// snapshot (Prometheus text, or JSON with ?format=json) and arbitrary
+// JSON debug values.
+type Mux struct {
+	mux *http.ServeMux
+}
+
+// NewMux creates an empty observability mux.
+func NewMux() *Mux { return &Mux{mux: http.NewServeMux()} }
+
+// ServeHTTP implements http.Handler.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) { m.mux.ServeHTTP(w, r) }
+
+// HandleMetrics serves snap() at path as Prometheus text, or as JSON
+// when the request carries ?format=json.
+func (m *Mux) HandleMetrics(path string, snap func() *Snapshot) {
+	m.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WritePrometheus(w, s)
+	})
+}
+
+// HandleJSON serves fn()'s result at path as indented JSON, evaluated
+// per request.
+func (m *Mux) HandleJSON(path string, fn func() any) {
+	m.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, fn())
+	})
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr net.Addr
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves h
+// on a background goroutine until Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr(), srv: &http.Server{Handler: h}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

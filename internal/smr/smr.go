@@ -86,6 +86,16 @@ type FixedBandDrive struct {
 	rmws     int64   // number of band cleaning (read-modify-write) episodes
 	cachePos int64   // append cursor within the media cache region
 
+	staged      int64 // writes staged into the media cache
+	stagedBytes int64
+	cleanBytes  int64 // bytes rewritten by cleaning passes
+
+	// onClean, when set, observes every cleaning episode: the band,
+	// the bytes rewritten, and the device time consumed. Called with
+	// the drive lock held; the observer must not call back into the
+	// drive.
+	onClean func(band, bytes int64, d time.Duration)
+
 	buffered   map[int64][]bufWrite // band -> pending cached writes
 	dirtyOrder []int64              // bands in FIFO dirty order
 }
@@ -153,6 +163,39 @@ func (d *FixedBandDrive) RMWCount() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.rmws
+}
+
+// MediaCacheStats describes the drive's persistent-cache activity:
+// how many writes were staged into the media cache, and what the
+// cleaning passes rewrote to apply them.
+type MediaCacheStats struct {
+	StagedWrites int64 `json:"staged_writes"`
+	StagedBytes  int64 `json:"staged_bytes"`
+	Cleans       int64 `json:"cleans"`
+	CleanBytes   int64 `json:"clean_bytes"`
+	DirtyBands   int   `json:"dirty_bands"`
+}
+
+// MediaCacheStats returns the media-cache counters.
+func (d *FixedBandDrive) MediaCacheStats() MediaCacheStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return MediaCacheStats{
+		StagedWrites: d.staged,
+		StagedBytes:  d.stagedBytes,
+		Cleans:       d.rmws,
+		CleanBytes:   d.cleanBytes,
+		DirtyBands:   len(d.buffered),
+	}
+}
+
+// SetCleanObserver installs fn to observe every cleaning episode.
+// fn runs with the drive lock held and must not call back into the
+// drive. Passing nil removes the observer.
+func (d *FixedBandDrive) SetCleanObserver(fn func(band, bytes int64, dur time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onClean = fn
 }
 
 // ReadAt implements Drive. Reads have no SMR constraints, but a read
@@ -250,6 +293,8 @@ func (d *FixedBandDrive) writeSegment(band, bandStart, inBand int64, p []byte) (
 	if err != nil {
 		return total, err
 	}
+	d.staged++
+	d.stagedBytes += n
 	if _, dirty := d.buffered[band]; !dirty {
 		d.dirtyOrder = append(d.dirtyOrder, band)
 	}
@@ -320,6 +365,10 @@ func (d *FixedBandDrive) cleanBand(band int64) (time.Duration, error) {
 		return total, err
 	}
 	d.wp[band] = newLen
+	d.cleanBytes += newLen
+	if d.onClean != nil {
+		d.onClean(band, newLen, total)
+	}
 	return total, nil
 }
 

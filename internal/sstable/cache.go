@@ -16,6 +16,12 @@ type Cache struct {
 	items    map[cacheKey]*list.Element
 
 	hits, misses int64
+
+	// Bloom-filter outcome counters for the tables sharing this
+	// cache: definite negatives (lookups the filter rejected), true
+	// positives (filter passed, key present) and false positives
+	// (filter passed, key absent).
+	bloomNeg, bloomTruePos, bloomFalsePos int64
 }
 
 type cacheKey struct {
@@ -99,14 +105,58 @@ func (c *Cache) EvictFile(file uint64) {
 
 // HitRate returns the fraction of lookups served from the cache.
 func (c *Cache) HitRate() float64 {
+	return c.Stats().HitRatio
+}
+
+// noteBloom records one bloom-filter outcome for a table sharing this
+// cache. Nil-safe (compaction readers run without a cache).
+func (c *Cache) noteBloom(passed, found bool) {
 	if c == nil {
-		return 0
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	total := c.hits + c.misses
-	if total == 0 {
-		return 0
+	switch {
+	case !passed:
+		c.bloomNeg++
+	case found:
+		c.bloomTruePos++
+	default:
+		c.bloomFalsePos++
 	}
-	return float64(c.hits) / float64(total)
+}
+
+// CacheStats is a point-in-time copy of the cache and bloom counters.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	// UsedBytes and Entries describe the current residency.
+	UsedBytes int64 `json:"used_bytes"`
+	Entries   int   `json:"entries"`
+	// Bloom-filter effectiveness across the cache's tables.
+	BloomNegatives      int64 `json:"bloom_negatives"`
+	BloomTruePositives  int64 `json:"bloom_true_positives"`
+	BloomFalsePositives int64 `json:"bloom_false_positives"`
+}
+
+// Stats returns the cache and bloom counters. A nil cache reports
+// zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		UsedBytes: c.used, Entries: c.ll.Len(),
+		BloomNegatives:      c.bloomNeg,
+		BloomTruePositives:  c.bloomTruePos,
+		BloomFalsePositives: c.bloomFalsePos,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRatio = float64(c.hits) / float64(total)
+	}
+	return s
 }

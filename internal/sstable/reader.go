@@ -110,6 +110,7 @@ func (t *Table) Get(ukey []byte, seq kv.SeqNum) (value []byte, deleted, ok bool,
 // overlapped levels compare sequence numbers across tables.
 func (t *Table) GetEntry(ukey []byte, seq kv.SeqNum) (value []byte, foundSeq kv.SeqNum, kind kv.Kind, ok bool, err error) {
 	if !bloomMayContain(t.bloom, ukey) {
+		t.cache.noteBloom(false, false)
 		return nil, 0, 0, false, nil
 	}
 	var buf [64]byte
@@ -117,6 +118,9 @@ func (t *Table) GetEntry(ukey []byte, seq kv.SeqNum) (value []byte, foundSeq kv.
 	ixIter := newBlockIter(t.index)
 	ixIter.Seek(search)
 	if !ixIter.Valid() {
+		if ixIter.Error() == nil {
+			t.cache.noteBloom(true, false)
+		}
 		return nil, 0, 0, false, ixIter.Error()
 	}
 	h, _, err := decodeHandle(ixIter.Value())
@@ -130,12 +134,17 @@ func (t *Table) GetEntry(ukey []byte, seq kv.SeqNum) (value []byte, foundSeq kv.
 	it := newBlockIter(b)
 	it.Seek(search)
 	if !it.Valid() {
+		if it.Error() == nil {
+			t.cache.noteBloom(true, false)
+		}
 		return nil, 0, 0, false, it.Error()
 	}
 	ik := it.Key()
 	if kv.CompareUser(ik.UserKey(), ukey) != 0 {
+		t.cache.noteBloom(true, false)
 		return nil, 0, 0, false, nil
 	}
+	t.cache.noteBloom(true, true)
 	if ik.Kind() == kv.KindDelete {
 		return nil, ik.Seq(), kv.KindDelete, true, nil
 	}

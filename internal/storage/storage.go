@@ -72,6 +72,19 @@ type Backend struct {
 
 	mu    sync.Mutex
 	files map[uint64]*fileInfo
+	stats BackendStats
+}
+
+// BackendStats counts backend activity: whole-blob writes, grouped
+// (set) writes, append-file creations, removals, and extent frees.
+type BackendStats struct {
+	FilesWritten  int64 `json:"files_written"`
+	FileBytes     int64 `json:"file_bytes"`
+	GroupWrites   int64 `json:"group_writes"`
+	GroupBytes    int64 `json:"group_bytes"`
+	AppendCreates int64 `json:"append_creates"`
+	Removes       int64 `json:"removes"`
+	ExtentFrees   int64 `json:"extent_frees"`
 }
 
 // NewBackend creates a backend over the given drive and policy.
@@ -106,6 +119,8 @@ func (b *Backend) WriteFile(num uint64, data []byte) error {
 	}
 	b.mu.Lock()
 	b.files[num] = &fileInfo{ext: ext, size: int64(len(data)), limit: ext.Len}
+	b.stats.FilesWritten++
+	b.stats.FileBytes += int64(len(data))
 	b.mu.Unlock()
 	return nil
 }
@@ -162,6 +177,10 @@ func (b *Backend) WriteGroup(nums []uint64, datas [][]byte) (Extent, bool, error
 		off += sizes[i]
 	}
 	b.writeMu.Unlock()
+	b.mu.Lock()
+	b.stats.GroupWrites++
+	b.stats.GroupBytes += total
+	b.mu.Unlock()
 	return group, true, nil
 }
 
@@ -222,6 +241,7 @@ func (b *Backend) Remove(num uint64) error {
 	fi, ok := b.files[num]
 	if ok {
 		delete(b.files, num)
+		b.stats.Removes++
 	}
 	b.mu.Unlock()
 	if !ok {
@@ -237,8 +257,18 @@ func (b *Backend) Remove(num uint64) error {
 // FreeExtent returns raw space (a dead set's group extent) to the
 // allocator and the drive.
 func (b *Backend) FreeExtent(e Extent) error {
+	b.mu.Lock()
+	b.stats.ExtentFrees++
+	b.mu.Unlock()
 	b.alloc.Free(e)
 	return b.drive.Free(e.Off, e.Len)
+}
+
+// Stats returns a snapshot of the backend activity counters.
+func (b *Backend) Stats() BackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
 }
 
 // NumFiles returns how many files the backend tracks.
@@ -300,6 +330,7 @@ func (b *Backend) CreateAppend(num uint64, maxSize int64) (*AppendFile, error) {
 	fi := &fileInfo{ext: ext, limit: maxSize}
 	b.mu.Lock()
 	b.files[num] = fi
+	b.stats.AppendCreates++
 	b.mu.Unlock()
 	return &AppendFile{b: b, num: num, ext: ext, limit: maxSize}, nil
 }

@@ -46,6 +46,7 @@ type Writer struct {
 	w           io.Writer
 	blockOffset int // position within the current block
 	written     int64
+	records     int64
 }
 
 // NewWriter creates a log writer that starts at a block boundary.
@@ -63,6 +64,7 @@ func NewReopenedWriter(w io.Writer, offset int64) *Writer {
 // AddRecord appends one record, fragmenting it across blocks as
 // needed. Empty records are legal.
 func (w *Writer) AddRecord(payload []byte) error {
+	w.records++
 	begin := true
 	for {
 		leftover := BlockSize - w.blockOffset
@@ -131,6 +133,9 @@ func (w *Writer) emit(p []byte) error {
 
 // Size returns the bytes written to the underlying writer.
 func (w *Writer) Size() int64 { return w.written }
+
+// Records returns the number of records appended to this writer.
+func (w *Writer) Records() int64 { return w.records }
 
 // ErrCorrupt is wrapped by reader errors caused by damaged fragments.
 var ErrCorrupt = errors.New("wal: corrupt fragment")

@@ -34,6 +34,7 @@ package sealdb
 
 import (
 	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
 	"sealdb/internal/sstable"
 )
 
@@ -108,6 +109,17 @@ type CompactionInfo = lsm.CompactionInfo
 // Amplification reports the paper's write-amplification metrics:
 // WA (LSM-tree), AWA (SMR drive), and their product MWA.
 type Amplification = lsm.Amplification
+
+// MetricsSnapshot is a point-in-time copy of every metric the store
+// exports — engine counters, latency histograms, and gauges over the
+// whole device stack. Obtain one with DB.MetricsSnapshot; the same
+// data backs the /metrics endpoint of DB.ObsHandler.
+type MetricsSnapshot = obs.Snapshot
+
+// Event is one entry of the store's observability journal (flushes,
+// compactions, set migrations, band GC, media-cache cleans), with
+// timestamps in simulated device nanoseconds; see DB.Events.
+type Event = obs.Event
 
 // Errors returned by DB operations.
 var (
