@@ -102,3 +102,13 @@ func decodeBatch(rep []byte, fn func(seq kv.SeqNum, kind kv.Kind, key, value []b
 	}
 	return base + kv.SeqNum(count) - 1, int(count), nil
 }
+
+// batchBaseSeq peeks the base sequence number of an encoded batch
+// without decoding its entries. Replay uses it to check sequence
+// continuity before applying a record.
+func batchBaseSeq(rep []byte) (kv.SeqNum, bool) {
+	if len(rep) < batchHeaderLen {
+		return 0, false
+	}
+	return kv.SeqNum(binary.LittleEndian.Uint64(rep[0:8])), true
+}

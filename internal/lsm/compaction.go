@@ -495,10 +495,13 @@ func (d *DB) isBaseLevelForKey(c *compaction, user []byte) bool {
 func (d *DB) CompactAll() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
+	if err := d.writeAllowed(); err != nil {
+		return err
 	}
-	return d.compactUntilBalanced()
+	if err := d.compactUntilBalanced(); err != nil {
+		return d.failWrite(err)
+	}
+	return nil
 }
 
 // FlushMemtable forces the current memtable to level 0 (test hook and
@@ -506,14 +509,17 @@ func (d *DB) CompactAll() error {
 func (d *DB) FlushMemtable() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
+	if err := d.writeAllowed(); err != nil {
+		return err
 	}
 	if d.mem.Empty() {
 		return nil
 	}
 	if err := d.rotateAndFlush(d.cfg.walSize()); err != nil {
-		return err
+		return d.failWrite(err)
 	}
-	return d.compactUntilBalanced()
+	if err := d.compactUntilBalanced(); err != nil {
+		return d.failWrite(err)
+	}
+	return nil
 }

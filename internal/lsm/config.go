@@ -19,8 +19,10 @@ package lsm
 
 import (
 	"fmt"
+	"time"
 
 	"sealdb/internal/kv"
+	"sealdb/internal/smr"
 	"sealdb/internal/sstable"
 )
 
@@ -154,6 +156,38 @@ type Config struct {
 	// JournalCapacity bounds the observability event journal ring
 	// (0 means the default of 4096 events).
 	JournalCapacity int
+	// WrapDrive, if set, wraps the mode's drive before the backend is
+	// built on it — the hook fault injectors use to sit between the
+	// engine and the media. Allocators and drive-introspection paths
+	// see through the wrapper via smr.Base.
+	WrapDrive func(smr.Drive) smr.Drive
+	// WriteRetries is the number of extra attempts granted to a
+	// device write that fails with a transient error (0 means the
+	// default of 3; negative disables retries).
+	WriteRetries int
+	// RetryBackoff is the wait before the first retry, doubling each
+	// attempt; it is charged as simulated device time (0 means the
+	// default of 200µs).
+	RetryBackoff time.Duration
+}
+
+// writeRetries resolves the retry budget.
+func (c *Config) writeRetries() int {
+	if c.WriteRetries < 0 {
+		return 0
+	}
+	if c.WriteRetries == 0 {
+		return 3
+	}
+	return c.WriteRetries
+}
+
+// retryBackoff resolves the initial retry backoff.
+func (c *Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 200 * time.Microsecond
+	}
+	return c.RetryBackoff
 }
 
 // DefaultConfig returns a config for the given mode with the scaled

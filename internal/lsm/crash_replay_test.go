@@ -1,0 +1,64 @@
+// Crash-replay drivers: run the crashtest harness against the engine
+// with a geometry small enough that the seeded workload crosses
+// several flushes and compactions, then cut power at every device
+// write boundary and check the recovery contract after each reopen.
+// This file is an external test package so it can import the harness
+// (which itself imports lsm).
+package lsm_test
+
+import (
+	"testing"
+
+	"sealdb/internal/faultfs/crashtest"
+	"sealdb/internal/kv"
+	"sealdb/internal/lsm"
+)
+
+// crashConfig builds a harness config on a tiny geometry: 8 KiB
+// SSTables and memtables make a ~300-op workload produce multiple
+// flushes, and the script's explicit compactions plus the L0 trigger
+// produce real merges, so cuts land inside every phase the engine
+// has: WAL appends, table writes, manifest edits, set migrations.
+func crashConfig(mode lsm.Mode, stride int64) crashtest.Config {
+	return crashtest.Config{
+		DB: lsm.Config{
+			Mode:     mode,
+			// 256 MiB keeps an extfs block group (capacity/64) larger
+			// than the manifest extent; the platter is sparse, so the
+			// capacity costs nothing.
+			Geometry: lsm.ScaledGeometry(8*kv.KiB, 256*kv.MiB),
+			Seed:     1,
+		},
+		Seed:   42,
+		Ops:    crashtest.Workload(42, 300, 120),
+		Stride: stride,
+	}
+}
+
+// TestCrashReplay is the acceptance sweep: SEALDB mode, power cut at
+// every write boundary (strided under -short to keep the default
+// suite fast; CI runs the full sweep).
+func TestCrashReplay(t *testing.T) {
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	res := crashtest.Run(t, crashConfig(lsm.ModeSEALDB, stride))
+	t.Logf("crash replay (sealdb): %s", res)
+	if res.Cuts == 0 {
+		t.Fatal("harness injected no cuts")
+	}
+}
+
+// TestCrashReplayFixedBand covers the fixed-band drive and ext4-like
+// allocator recovery path (ModeLevelDB). Strided: the sweep's value
+// here is hitting the other allocator's reopen code, not exhaustive
+// boundary coverage, which TestCrashReplay already provides.
+func TestCrashReplayFixedBand(t *testing.T) {
+	stride := int64(7)
+	if testing.Short() {
+		stride = 41
+	}
+	res := crashtest.Run(t, crashConfig(lsm.ModeLevelDB, stride))
+	t.Logf("crash replay (leveldb): %s", res)
+}

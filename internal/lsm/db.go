@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +26,12 @@ var ErrClosed = errors.New("lsm: database is closed")
 
 // ErrNotFound is returned by Get when the key does not exist.
 var ErrNotFound = errors.New("lsm: key not found")
+
+// ErrDegraded is wrapped by every write rejected after a permanent
+// device failure moved the DB into read-only degraded mode. Reads
+// keep working from whatever state is durable; the first failure's
+// cause is included in the returned error.
+var ErrDegraded = errors.New("lsm: database is in read-only degraded mode")
 
 // Device bundles the emulated drive stack a DB runs on. It survives
 // DB close, playing the role of the physical disk: reopening a DB on
@@ -50,26 +57,39 @@ func NewDevice(cfg Config) *Device {
 	}
 	disk := platter.New(pcfg)
 	dev := &Device{Disk: disk}
+	// wrap layers the optional fault-injection hook and the transient
+	// -error retry policy over a mode's base drive. Allocators that
+	// need the concrete drive type keep the base; everything the
+	// engine writes through goes via the wrapped stack.
+	wrap := func(base smr.Drive) smr.Drive {
+		if cfg.WrapDrive != nil {
+			base = cfg.WrapDrive(base)
+		}
+		if cfg.writeRetries() > 0 {
+			base = smr.NewRetry(base, cfg.writeRetries(), cfg.retryBackoff())
+		}
+		return base
+	}
 	switch cfg.Mode {
 	case ModeLevelDB:
 		drive := smr.NewFixedBand(disk, cfg.BandSize)
-		dev.Drive = drive
+		dev.Drive = wrap(drive)
 		dev.ExtFS = extfs.New(drive.Capacity())
-		dev.Backend = storage.NewBackend(drive, dev.ExtFS)
+		dev.Backend = storage.NewBackend(dev.Drive, dev.ExtFS)
 	case ModeLevelDBSets:
 		drive := smr.NewFixedBand(disk, cfg.BandSize)
-		dev.Drive = drive
+		dev.Drive = wrap(drive)
 		dev.ExtFS = extfs.New(drive.Capacity()).EnableGroups()
-		dev.Backend = storage.NewBackend(drive, dev.ExtFS)
+		dev.Backend = storage.NewBackend(dev.Drive, dev.ExtFS)
 	case ModeSMRDB:
 		drive := smr.NewFixedBand(disk, cfg.BandSize)
-		dev.Drive = drive
-		dev.Backend = storage.NewBackend(drive, storage.NewBandAllocator(drive))
+		dev.Drive = wrap(drive)
+		dev.Backend = storage.NewBackend(dev.Drive, storage.NewBandAllocator(drive))
 	case ModeSEALDB:
 		drive := smr.NewRaw(disk, cfg.GuardSize)
-		dev.Drive = drive
+		dev.Drive = wrap(drive)
 		dev.DBand = dband.New(cfg.DiskCapacity, cfg.SSTableSize, cfg.GuardSize)
-		dev.Backend = storage.NewBackend(drive, storage.NewDynamicBandAllocator(dev.DBand))
+		dev.Backend = storage.NewBackend(dev.Drive, storage.NewDynamicBandAllocator(dev.DBand))
 	default:
 		panic(fmt.Sprintf("lsm: unknown mode %v", cfg.Mode))
 	}
@@ -114,6 +134,11 @@ type DB struct {
 	stats     Stats
 	compID    int
 	closed    bool
+	// bgErr is the first permanent write-path failure; once set, the
+	// DB is read-only degraded (LevelDB's bg_error_).
+	bgErr error
+	// recovery describes what the last OpenDevice found on disk.
+	recovery RecoveryInfo
 
 	// Iterator pinning (see pins.go): live iterators defer reclamation
 	// of the table files they may still read.
@@ -162,16 +187,39 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 		SortedLevel:  cfg.sortedLevel,
 	}
 	if _, err := d.backend.FileSize(version.CurrentFileNum); err == nil {
-		vs, err := version.Recover(vcfg)
+		vs, report, err := version.Recover(vcfg)
 		if err != nil {
 			return nil, err
 		}
 		d.vs = vs
 		d.seq = vs.LastSeq()
+		d.recovery.Manifest = report
+		if report.TruncatedTail {
+			d.journal.Record("manifest_truncated", map[string]int64{
+				"manifest": int64(report.ManifestNum), "skipped_bytes": report.SkippedBytes,
+				"records": int64(report.Records),
+			})
+		}
+		// Sweep crash debris before anything allocates: a file created
+		// by the previous instance whose manifest edit never landed
+		// still occupies a number the recovered NextFileNum will hand
+		// out again, so the mapping must be gone before WAL replay
+		// flushes or a new WAL is created.
+		d.sweepOrphans()
 		if err := d.recoverSetsAndWAL(); err != nil {
 			return nil, err
 		}
+		if err := d.reconcileExtents(); err != nil {
+			return nil, err
+		}
 	} else {
+		// No CURRENT: nothing on this device is durable yet. A crash
+		// during a previous first-time Create can still leave files
+		// behind (a manifest whose CURRENT repoint never landed);
+		// wipe them so creation starts from a clean mapping table.
+		for _, fr := range d.backend.Files() {
+			d.backend.Remove(fr.Num)
+		}
 		vs, err := version.Create(vcfg)
 		if err != nil {
 			return nil, err
@@ -184,9 +232,76 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 	return d, nil
 }
 
+// RecoveryInfo describes what OpenDevice found while recovering:
+// the manifest scan report, how much of the WAL replayed, and what
+// crash debris (orphan files, leaked extents) was cleaned up.
+type RecoveryInfo struct {
+	// Manifest is nil when the device was freshly created.
+	Manifest *version.RecoveryReport `json:"manifest,omitempty"`
+	// WALRecords/WALEntries count the replayed batches and the
+	// key-value mutations inside them.
+	WALRecords int `json:"wal_records"`
+	WALEntries int `json:"wal_entries"`
+	// WALSkippedBytes counts log bytes discarded as torn or stale.
+	WALSkippedBytes int64 `json:"wal_skipped_bytes"`
+	// WALTornTail reports that the log ended in a torn or corrupt
+	// record which was treated as the end of the log.
+	WALTornTail bool `json:"wal_torn_tail"`
+	// OrphanSets counts sets dropped because they had no live member.
+	OrphanSets int `json:"orphan_sets"`
+	// OrphanFiles counts backend files removed because no manifest
+	// state referenced them (half-written flush/compaction outputs).
+	OrphanFiles int `json:"orphan_files"`
+	// LeakedBytes counts allocator bytes freed by extent
+	// reconciliation (SEALDB mode): space the dynamic band manager
+	// held that no file or set covered after a crash.
+	LeakedBytes int64 `json:"leaked_bytes"`
+}
+
+// Recovery returns what the last OpenDevice found on this device.
+func (d *DB) Recovery() RecoveryInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovery
+}
+
 func (d *DB) nextMemSeed() int64 {
 	d.memSeed++
 	return d.memSeed
+}
+
+// writeAllowed rejects writes on a closed or degraded DB. Caller
+// holds d.mu.
+func (d *DB) writeAllowed() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.bgErr != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrDegraded, d.bgErr)
+	}
+	return nil
+}
+
+// failWrite records a permanent write-path failure: the first one
+// moves the DB into read-only degraded mode (LevelDB's bg_error_);
+// reads keep serving durable state. Returns err for chaining. Caller
+// holds d.mu.
+func (d *DB) failWrite(err error) error {
+	if err == nil || d.bgErr != nil {
+		return err
+	}
+	d.bgErr = err
+	d.metrics.degraded.Add(1)
+	d.journal.Record("degraded", map[string]int64{})
+	return err
+}
+
+// Degraded returns the permanent failure that moved the DB into
+// read-only mode, or nil.
+func (d *DB) Degraded() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bgErr
 }
 
 // Mode returns the engine's mode.
@@ -209,6 +324,7 @@ func (d *DB) Seq() kv.SeqNum {
 // recoverSetsAndWAL rebuilds the set registry and replays the WAL.
 func (d *DB) recoverSetsAndWAL() error {
 	orphans := d.sets.rebuild(d.vs.Sets(), d.vs.Current())
+	d.recovery.OrphanSets = len(orphans)
 	if len(orphans) > 0 {
 		// Sets that lost their last member without being dropped
 		// (crash window): log the drops, then free the extents.
@@ -230,19 +346,25 @@ func (d *DB) recoverSetsAndWAL() error {
 	if logNum == 0 {
 		return nil
 	}
-	size, err := d.backend.FileSize(logNum)
+	// The logical size is not trusted after a crash: scan the whole
+	// reserved extent and let the tagged strict framing find the true
+	// end of the log. A torn final append, and any stale frames a
+	// previous occupant of the extent left beyond it, fail their CRC
+	// and end the replay cleanly instead of failing Open.
+	limit, err := d.backend.ReservedSize(logNum)
 	if err != nil {
 		if errors.Is(err, storage.ErrNotFound) {
 			return nil // already flushed and removed
 		}
 		return err
 	}
-	buf := make([]byte, size)
-	if _, err := d.backend.ReadFileAt(logNum, buf, 0); err != nil && err != io.EOF {
+	buf := make([]byte, limit)
+	if _, err := d.backend.ReadReservedAt(logNum, buf, 0); err != nil && err != io.EOF {
 		return err
 	}
-	r := wal.NewReader(&sliceReader{b: buf})
-	replayed := 0
+	r := wal.NewTaggedReader(&sliceReader{b: buf}, logNum).Strict()
+	records, entries := 0, 0
+	torn := false
 	for {
 		rec, err := r.ReadRecord()
 		if errors.Is(err, io.EOF) {
@@ -251,18 +373,41 @@ func (d *DB) recoverSetsAndWAL() error {
 		if err != nil {
 			return fmt.Errorf("lsm: WAL replay: %w", err)
 		}
-		last, n, err := decodeBatch(rec, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
+		// Sequence continuity: every batch's base must extend the
+		// recovered history exactly (flushes rotate the log, so the
+		// first record continues LastSeq). Anything else is debris —
+		// treat it as the end of the log.
+		base, ok := batchBaseSeq(rec)
+		if !ok || base != d.seq+1 {
+			torn = true
+			break
+		}
+		// Validate the whole batch before applying any of it, so a
+		// record that frames correctly but does not decode cannot
+		// leave half a batch in the memtable.
+		if _, _, err := decodeBatch(rec, func(kv.SeqNum, kv.Kind, []byte, []byte) error { return nil }); err != nil {
+			torn = true
+			break
+		}
+		last, n, _ := decodeBatch(rec, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
 			d.mem.Add(seq, kind, key, value)
 			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("lsm: WAL replay: %w", err)
-		}
-		replayed += n
+		records++
+		entries += n
 		if last > d.seq {
 			d.seq = last
 		}
 	}
+	d.recovery.WALRecords = records
+	d.recovery.WALEntries = entries
+	d.recovery.WALSkippedBytes = r.Skipped()
+	d.recovery.WALTornTail = torn || r.Skipped() > 0
+	d.metrics.walReplaySkipped.Add(r.Skipped())
+	d.journal.Record("wal_replay", map[string]int64{
+		"log": int64(logNum), "records": int64(records), "entries": int64(entries),
+		"skipped_bytes": r.Skipped(), "torn": boolToInt64(d.recovery.WALTornTail),
+	})
 	// Persist the replayed mutations as an L0 table so the old WAL
 	// can be dropped, as LevelDB recovery does.
 	if !d.mem.Empty() {
@@ -273,6 +418,105 @@ func (d *DB) recoverSetsAndWAL() error {
 	}
 	d.backend.Remove(logNum)
 	return nil
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sweepOrphans removes backend files that no durable state
+// references: half-written flush or compaction outputs, and WALs
+// whose manifest edit never landed. Runs right after manifest
+// recovery and before anything creates files, so the live set is
+// exactly CURRENT, the manifest, the recorded log, and the files of
+// the recovered version — and every orphan number is free for
+// NewFileNum to reissue.
+func (d *DB) sweepOrphans() {
+	live := map[uint64]bool{
+		version.CurrentFileNum: true,
+		d.vs.ManifestNum():     true,
+	}
+	if n := d.vs.LogNum(); n != 0 {
+		live[n] = true
+	}
+	cur := d.vs.Current()
+	for l := 0; l < version.NumLevels; l++ {
+		for _, f := range cur.Files[l] {
+			live[f.Num] = true
+		}
+	}
+	for _, fr := range d.backend.Files() {
+		if live[fr.Num] {
+			continue
+		}
+		d.backend.Remove(fr.Num)
+		d.recovery.OrphanFiles++
+		d.journal.Record("orphan_file_removed", map[string]int64{
+			"num": int64(fr.Num), "bytes": fr.Extent.Len, "grouped": boolToInt64(fr.Grouped),
+		})
+	}
+}
+
+// reconcileExtents compares the dynamic band manager's allocated
+// space against everything the recovered state actually owns and
+// frees the difference — extents leaked when a crash landed between
+// a manifest edit (e.g. DropSets) and the deferred FreeExtent, or
+// between a group allocation and its manifest record. SEALDB only:
+// the other modes' allocators are reconstructed per file by the
+// orphan sweep.
+func (d *DB) reconcileExtents() error {
+	mgr := d.dev.DBand
+	if mgr == nil {
+		return nil
+	}
+	type span struct{ off, end int64 }
+	var covered []span
+	for _, fr := range d.backend.Files() {
+		if fr.Grouped {
+			continue // inside a set extent
+		}
+		covered = append(covered, span{fr.Extent.Off, fr.Extent.End()})
+	}
+	for _, sr := range d.vs.Sets() {
+		covered = append(covered, span{sr.Off, sr.Off + sr.Len})
+	}
+	sort.Slice(covered, func(i, j int) bool { return covered[i].off < covered[j].off })
+	// Walk the allocator's allocated runs and free every gap not
+	// covered by a file or set.
+	for _, band := range mgr.Bands() {
+		pos := band.Off
+		bandEnd := band.Off + band.Len
+		for _, sp := range covered {
+			if sp.end <= pos || sp.off >= bandEnd {
+				continue
+			}
+			if sp.off > pos {
+				if err := d.freeLeaked(pos, sp.off-pos); err != nil {
+					return err
+				}
+			}
+			if sp.end > pos {
+				pos = sp.end
+			}
+		}
+		if pos < bandEnd {
+			if err := d.freeLeaked(pos, bandEnd-pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *DB) freeLeaked(off, length int64) error {
+	d.recovery.LeakedBytes += length
+	d.journal.Record("leaked_extent_reclaimed", map[string]int64{
+		"off": off, "len": length,
+	})
+	return d.backend.FreeExtent(storage.Extent{Off: off, Len: length})
 }
 
 type sliceReader struct{ b []byte }
@@ -298,7 +542,7 @@ func (d *DB) newWAL() error {
 	d.walNum = num
 	d.walFile = f
 	d.walLimit = d.cfg.walSize()
-	d.walW = wal.NewWriter(f)
+	d.walW = wal.NewTaggedWriter(f, num)
 	if err := d.vs.LogAndApply(&version.Edit{HasLogNum: true, LogNum: num, HasLastSeq: true, LastSeq: d.seq}); err != nil {
 		return err
 	}

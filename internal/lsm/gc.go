@@ -36,8 +36,8 @@ func (d *DB) DefragmentBands(maxMoves int) (GCResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var res GCResult
-	if d.closed {
-		return res, ErrClosed
+	if err := d.writeAllowed(); err != nil {
+		return res, err
 	}
 	mgr := d.dev.DBand
 	if mgr == nil {

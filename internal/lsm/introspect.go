@@ -2,8 +2,10 @@ package lsm
 
 import (
 	"fmt"
+	"sort"
 
 	"sealdb/internal/kv"
+	"sealdb/internal/smr"
 	"sealdb/internal/version"
 )
 
@@ -80,12 +82,12 @@ func (d *DB) ApproximateSize(lo, hi []byte) int64 {
 func (d *DB) CompactRange(lo, hi []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
+	if err := d.writeAllowed(); err != nil {
+		return err
 	}
 	if !d.mem.Empty() {
 		if err := d.rotateAndFlush(d.cfg.walSize()); err != nil {
-			return err
+			return d.failWrite(err)
 		}
 	}
 	for level := 0; level < d.cfg.NumLevels-1; level++ {
@@ -118,7 +120,7 @@ func (d *DB) CompactRange(lo, hi []byte) error {
 				c.trivial = true
 			}
 			if err := d.runCompaction(c); err != nil {
-				return err
+				return d.failWrite(err)
 			}
 			if c.trivial {
 				continue // the file moved down; the next loop sees it there
@@ -126,7 +128,10 @@ func (d *DB) CompactRange(lo, hi []byte) error {
 			break
 		}
 	}
-	return d.compactUntilBalanced()
+	if err := d.compactUntilBalanced(); err != nil {
+		return d.failWrite(err)
+	}
+	return nil
 }
 
 // VerifyIntegrity walks the whole store and checks every invariant it
@@ -152,7 +157,10 @@ func (d *DB) VerifyIntegrity() error {
 			}
 		}
 	}
-	return d.verifySets(v)
+	if err := d.verifySets(v); err != nil {
+		return err
+	}
+	return d.verifyExtents(v)
 }
 
 // verifyTable scans one table, checking block CRCs (implicitly),
@@ -225,10 +233,65 @@ func (d *DB) verifySets(v *version.Version) error {
 	// Dynamic-band accounting: allocator state must reconcile with
 	// the raw drive's validity map.
 	if mgr := d.dev.DBand; mgr != nil {
-		if raw, ok := d.drive.(interface{ ValidBytes() int64 }); ok {
+		if raw, ok := smr.Base(d.drive).(interface{ ValidBytes() int64 }); ok {
 			valid := raw.ValidBytes()
 			if alloc := mgr.AllocatedBytes(); valid > alloc {
 				return fmt.Errorf("drive holds %d valid bytes but allocator accounts only %d", valid, alloc)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyExtents checks physical space accounting: every owned extent
+// — non-grouped backend files, live set extents, and extents pending
+// deferred reclamation — must be pairwise disjoint (no double
+// allocation), and in SEALDB mode their total must equal exactly
+// what the dynamic band manager has allocated (no leak) with none of
+// them landing in its free space. Caller holds d.mu.
+func (d *DB) verifyExtents(v *version.Version) error {
+	type span struct {
+		off, end int64
+		what     string
+	}
+	var spans []span
+	for _, fr := range d.backend.Files() {
+		if fr.Grouped {
+			continue // covered by its set extent
+		}
+		spans = append(spans, span{fr.Extent.Off, fr.Extent.End(), fmt.Sprintf("file %d", fr.Num)})
+	}
+	for id, rec := range d.vs.Sets() {
+		spans = append(spans, span{rec.Off, rec.Off + rec.Len, fmt.Sprintf("set %d", id)})
+	}
+	for _, pr := range d.reclaims {
+		for _, ext := range pr.extents {
+			spans = append(spans, span{ext.Off, ext.End(), "pending reclaim"})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	var total int64
+	for i, sp := range spans {
+		total += sp.end - sp.off
+		if i > 0 && spans[i-1].end > sp.off {
+			return fmt.Errorf("extent overlap: %s [%d,%d) vs %s [%d,%d)",
+				spans[i-1].what, spans[i-1].off, spans[i-1].end, sp.what, sp.off, sp.end)
+		}
+	}
+	mgr := d.dev.DBand
+	if mgr == nil {
+		return nil
+	}
+	if alloc := mgr.AllocatedBytes(); total != alloc {
+		return fmt.Errorf("extent accounting: %d bytes owned by files/sets but allocator holds %d (leak or double-free of %d)",
+			total, alloc, alloc-total)
+	}
+	free := mgr.FreeRegions()
+	for _, sp := range spans {
+		for _, fr := range free {
+			if sp.off < fr.Off+fr.Len && fr.Off < sp.end {
+				return fmt.Errorf("%s [%d,%d) overlaps allocator free region [%d,%d)",
+					sp.what, sp.off, sp.end, fr.Off, fr.Off+fr.Len)
 			}
 		}
 	}

@@ -26,6 +26,8 @@ type dbMetrics struct {
 	bandGCMoves          *obs.Counter
 	bandGCBytes          *obs.Counter
 	walRotations         *obs.Counter
+	walReplaySkipped     *obs.Counter
+	degraded             *obs.Counter
 
 	writeLatency      *obs.Histogram
 	readLatency       *obs.Histogram
@@ -59,6 +61,8 @@ func (d *DB) initObs() {
 	m.bandGCMoves = d.reg.Counter("sealdb_band_gc_moves_total")
 	m.bandGCBytes = d.reg.Counter("sealdb_band_gc_bytes_total")
 	m.walRotations = d.reg.Counter("sealdb_wal_rotations_total")
+	m.walReplaySkipped = d.reg.Counter("sealdb_wal_replay_skipped_bytes_total")
+	m.degraded = d.reg.Counter("sealdb_degraded_total")
 	m.writeLatency = d.reg.Histogram("sealdb_write_latency_ns")
 	m.readLatency = d.reg.Histogram("sealdb_read_latency_ns")
 	m.flushLatency = d.reg.Histogram("sealdb_flush_latency_ns")
@@ -173,12 +177,32 @@ func (d *DB) registerGauges() {
 		reg.GaugeFunc("sealdb_dband_frees", func() float64 { return float64(mgr.Stats().Frees) })
 		reg.GaugeFunc("sealdb_dband_coalesces", func() float64 { return float64(mgr.Stats().Coalesces) })
 	}
-	if fbd, ok := d.drive.(*smr.FixedBandDrive); ok {
+	if fbd, ok := smr.Base(d.drive).(*smr.FixedBandDrive); ok {
 		reg.GaugeFunc("sealdb_media_cache_cleans", func() float64 { return float64(fbd.MediaCacheStats().Cleans) })
 		reg.GaugeFunc("sealdb_media_cache_clean_bytes", func() float64 { return float64(fbd.MediaCacheStats().CleanBytes) })
 		reg.GaugeFunc("sealdb_media_cache_staged_writes", func() float64 { return float64(fbd.MediaCacheStats().StagedWrites) })
 		reg.GaugeFunc("sealdb_media_cache_staged_bytes", func() float64 { return float64(fbd.MediaCacheStats().StagedBytes) })
 		reg.GaugeFunc("sealdb_media_cache_dirty_bands", func() float64 { return float64(fbd.MediaCacheStats().DirtyBands) })
+	}
+	if rd := d.retryDrive(); rd != nil {
+		reg.GaugeFunc("sealdb_write_retries", func() float64 { return float64(rd.Stats().Retried) })
+		reg.GaugeFunc("sealdb_write_retry_recovered", func() float64 { return float64(rd.Stats().Recovered) })
+		reg.GaugeFunc("sealdb_write_retry_exhausted", func() float64 { return float64(rd.Stats().Exhausted) })
+	}
+}
+
+// retryDrive finds the retry middleware in the drive chain, if any.
+func (d *DB) retryDrive() *smr.RetryDrive {
+	drv := d.drive
+	for {
+		if rd, ok := drv.(*smr.RetryDrive); ok {
+			return rd
+		}
+		u, ok := drv.(smr.Unwrapper)
+		if !ok {
+			return nil
+		}
+		drv = u.Unwrap()
 	}
 }
 
@@ -186,7 +210,14 @@ func (d *DB) registerGauges() {
 // registry's gauges can only aggregate: media-cache cleaning RMWs and
 // dynamic-band allocator activity.
 func (d *DB) installDeviceObservers() {
-	if fbd, ok := d.drive.(*smr.FixedBandDrive); ok {
+	if rd := d.retryDrive(); rd != nil {
+		rd.SetObserver(func(attempt int, err error, recovered bool) {
+			d.journal.Record("write_retry", map[string]int64{
+				"attempt": int64(attempt), "recovered": boolToInt64(recovered),
+			})
+		})
+	}
+	if fbd, ok := smr.Base(d.drive).(*smr.FixedBandDrive); ok {
 		fbd.SetCleanObserver(func(band, bytes int64, dur time.Duration) {
 			d.journal.Record("media_cache_clean", map[string]int64{
 				"band": band, "bytes": bytes, "device_ns": int64(dur),
@@ -218,15 +249,55 @@ func (d *DB) Events() []obs.Event {
 	return d.journal.Events()
 }
 
+// FaultProfile is the /debug/faults payload: degraded-mode state,
+// retry-layer counters, injected-fault counters (when a fault
+// injector is in the drive chain), and what the last recovery found.
+type FaultProfile struct {
+	Degraded      bool             `json:"degraded"`
+	DegradedCause string           `json:"degraded_cause,omitempty"`
+	Retry         *smr.RetryStats  `json:"retry,omitempty"`
+	Injected      map[string]int64 `json:"injected,omitempty"`
+	Recovery      RecoveryInfo     `json:"recovery"`
+}
+
+// FaultProfile reports the DB's fault, retry and recovery state.
+func (d *DB) FaultProfile() FaultProfile {
+	p := FaultProfile{Recovery: d.Recovery()}
+	if err := d.Degraded(); err != nil {
+		p.Degraded = true
+		p.DegradedCause = err.Error()
+	}
+	if rd := d.retryDrive(); rd != nil {
+		st := rd.Stats()
+		p.Retry = &st
+	}
+	// A fault injector anywhere in the drive chain exposes its
+	// counters without lsm importing the injection package.
+	drv := d.drive
+	for drv != nil {
+		if fi, ok := drv.(interface{ FaultStats() map[string]int64 }); ok {
+			p.Injected = fi.FaultStats()
+			break
+		}
+		u, ok := drv.(smr.Unwrapper)
+		if !ok {
+			break
+		}
+		drv = u.Unwrap()
+	}
+	return p
+}
+
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text, or JSON with ?format=json), /debug/levels,
-// /debug/sets, and /debug/events. The cmd drivers mount it behind
-// their -serve flag.
+// /debug/sets, /debug/events, and /debug/faults. The cmd drivers
+// mount it behind their -serve flag.
 func (d *DB) ObsHandler() http.Handler {
 	m := obs.NewMux()
 	m.HandleMetrics("/metrics", d.MetricsSnapshot)
 	m.HandleJSON("/debug/levels", func() any { return d.LevelProfile() })
 	m.HandleJSON("/debug/sets", func() any { return d.SetProfile() })
 	m.HandleJSON("/debug/events", func() any { return d.Events() })
+	m.HandleJSON("/debug/faults", func() any { return d.FaultProfile() })
 	return m
 }

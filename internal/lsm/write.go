@@ -5,6 +5,7 @@ import (
 
 	"sealdb/internal/kv"
 	"sealdb/internal/memtable"
+	"sealdb/internal/version"
 	"sealdb/internal/wal"
 )
 
@@ -31,18 +32,18 @@ func (d *DB) Apply(b *Batch) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
+	if err := d.writeAllowed(); err != nil {
+		return err
 	}
 	startBusy := d.disk.Stats().BusyTime
 	if err := d.makeRoomForWrite(b.Size()); err != nil {
-		return err
+		return d.failWrite(err)
 	}
 	base := d.seq + 1
 	d.seq += kv.SeqNum(b.count)
 	b.setSeq(base)
 	if err := d.walW.AddRecord(b.rep); err != nil {
-		return err
+		return d.failWrite(err)
 	}
 	if _, _, err := decodeBatch(b.rep, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
 		d.mem.Add(seq, kind, key, value)
@@ -102,9 +103,20 @@ func (d *DB) rotateAndFlush(walBytes int64) error {
 	d.walNum = num
 	d.walFile = f
 	d.walLimit = walBytes
-	d.walW = wal.NewWriter(f)
+	d.walW = wal.NewTaggedWriter(f, num)
 	if err := d.flushMemtable(imm, num); err != nil {
 		return err
+	}
+	if imm.Empty() {
+		// Nothing to flush (a batch larger than the WAL arrived at an
+		// empty memtable), so flushMemtable logged no edit — but the
+		// manifest must still learn the new log number before the old
+		// log disappears, or every write acknowledged into the new
+		// WAL would be invisible to recovery.
+		e := &version.Edit{HasLogNum: true, LogNum: num, HasLastSeq: true, LastSeq: d.seq}
+		if err := d.vs.LogAndApply(e); err != nil {
+			return err
+		}
 	}
 	d.backend.Remove(oldWalNum)
 	d.metrics.walRotations.Inc()

@@ -145,6 +145,16 @@ func TestMetricsScrapeE2E(t *testing.T) {
 	if types["flush"] == 0 || types["compaction"] == 0 {
 		t.Errorf("journal missing flush/compaction spans: %v", types)
 	}
+	var faults lsm.FaultProfile
+	if err := json.Unmarshal([]byte(get("/debug/faults")), &faults); err != nil {
+		t.Fatal(err)
+	}
+	if faults.Degraded {
+		t.Error("/debug/faults reports a healthy store as degraded")
+	}
+	if faults.Retry == nil {
+		t.Error("/debug/faults missing retry-layer counters")
+	}
 }
 
 // TestMetricsSnapshotDirect exercises the public API without HTTP and

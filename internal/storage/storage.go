@@ -210,6 +210,28 @@ func (b *Backend) ReadFileAt(num uint64, p []byte, off int64) (int, error) {
 	return n, eof
 }
 
+// FileRecord is a snapshot of one file's mapping-table entry.
+type FileRecord struct {
+	Num     uint64
+	Extent  Extent
+	Size    int64
+	Limit   int64
+	Grouped bool
+}
+
+// Files returns a snapshot of the whole mapping table, unordered.
+// Recovery uses it to sweep orphans and reconcile the allocator
+// against the manifest.
+func (b *Backend) Files() []FileRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]FileRecord, 0, len(b.files))
+	for num, fi := range b.files {
+		out = append(out, FileRecord{Num: num, Extent: fi.ext, Size: fi.size, Limit: fi.limit, Grouped: fi.grouped})
+	}
+	return out
+}
+
 // FileSize returns the logical size of file num.
 func (b *Backend) FileSize(num uint64) (int64, error) {
 	b.mu.Lock()
@@ -250,6 +272,38 @@ func (b *Backend) Remove(num uint64) error {
 	if !fi.grouped {
 		b.alloc.Free(fi.ext)
 		return b.drive.Free(fi.ext.Off, fi.ext.Len)
+	}
+	return nil
+}
+
+// ReplaceFile atomically replaces the contents of file num: the new
+// data is written to a fresh extent first, the mapping is swapped
+// only after that write succeeds, and then the old extent is freed.
+// A crash between the steps leaves either the old or the new version
+// fully intact — used for the CURRENT pointer, which must never be
+// half-updated. Creates the file if it does not exist.
+func (b *Backend) ReplaceFile(num uint64, data []byte) error {
+	b.writeMu.Lock()
+	ext, err := b.alloc.Alloc(int64(len(data)))
+	if err != nil {
+		b.writeMu.Unlock()
+		return err
+	}
+	_, werr := b.drive.WriteAt(data, ext.Off)
+	b.writeMu.Unlock()
+	if werr != nil {
+		b.alloc.Free(ext)
+		return werr
+	}
+	b.mu.Lock()
+	old := b.files[num]
+	b.files[num] = &fileInfo{ext: ext, size: int64(len(data)), limit: ext.Len}
+	b.stats.FilesWritten++
+	b.stats.FileBytes += int64(len(data))
+	b.mu.Unlock()
+	if old != nil && !old.grouped {
+		b.alloc.Free(old.ext)
+		return b.drive.Free(old.ext.Off, old.ext.Len)
 	}
 	return nil
 }
@@ -371,4 +425,69 @@ func (b *Backend) OpenAppend(num uint64) (*AppendFile, error) {
 		return nil, ErrNotFound
 	}
 	return &AppendFile{b: b, num: num, ext: fi.ext, limit: fi.limit, pos: fi.size}, nil
+}
+
+// ReservedSize returns the writable capacity reserved for append
+// file num (its limit), as opposed to its logical size. After a
+// crash the logical size cannot be trusted, so recovery scans the
+// whole reservation and lets record framing find the true end.
+func (b *Backend) ReservedSize(num uint64) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fi, ok := b.files[num]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return fi.limit, nil
+}
+
+// ReadReservedAt reads from file num's reserved extent, ignoring the
+// logical size (capped at the reservation limit). Recovery scans use
+// it to see past a stale size to whatever actually hit the platter.
+func (b *Backend) ReadReservedAt(num uint64, p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	fi, ok := b.files[num]
+	b.mu.Unlock()
+	if !ok {
+		return 0, ErrNotFound
+	}
+	if off < 0 || off > fi.limit {
+		return 0, fmt.Errorf("storage: reserved read at %d outside file %d (limit %d)", off, num, fi.limit)
+	}
+	n := len(p)
+	var eof error
+	if int64(n) > fi.limit-off {
+		n = int(fi.limit - off)
+		eof = io.EOF
+	}
+	if n == 0 {
+		return 0, eof
+	}
+	if _, err := b.drive.ReadAt(p[:n], fi.ext.Off+off); err != nil {
+		return 0, err
+	}
+	return n, eof
+}
+
+// TruncateAppend cuts append file num's logical size back to size
+// and retires the drive validity of the dropped tail, so a reopened
+// writer can append over it without tripping the raw drive's
+// overlap check. Recovery uses it to discard a torn MANIFEST tail.
+func (b *Backend) TruncateAppend(num uint64, size int64) error {
+	b.mu.Lock()
+	fi, ok := b.files[num]
+	if !ok {
+		b.mu.Unlock()
+		return ErrNotFound
+	}
+	if size < 0 || size > fi.limit {
+		b.mu.Unlock()
+		return fmt.Errorf("storage: truncate of file %d to %d outside [0, %d]", num, size, fi.limit)
+	}
+	fi.size = size
+	ext := fi.ext
+	b.mu.Unlock()
+	// Retire validity for everything past the new end, including the
+	// guard padding (freeing never-valid space is a no-op).
+	return b.drive.Free(ext.Off+size, ext.Len-size)
 }

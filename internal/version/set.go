@@ -58,59 +58,99 @@ func Create(cfg Config) (*Set, error) {
 	return s, nil
 }
 
+// RecoveryReport describes what Recover found on disk: how much of
+// the MANIFEST replayed, and whether a torn or corrupt tail was
+// discarded. The observability layer surfaces it at /debug/faults.
+type RecoveryReport struct {
+	ManifestNum uint64 `json:"manifest_num"`
+	// Records is the number of complete edits replayed.
+	Records int `json:"records"`
+	// SkippedBytes counts manifest bytes dropped as torn or corrupt.
+	SkippedBytes int64 `json:"skipped_bytes"`
+	// TruncatedTail reports that recovery fell back to the last
+	// complete edit, discarding a damaged tail.
+	TruncatedTail bool `json:"truncated_tail"`
+}
+
 // Recover rebuilds the state from the CURRENT pointer and MANIFEST.
-func Recover(cfg Config) (*Set, error) {
+//
+// The logical manifest size is not trusted: after a crash it may be
+// stale, so the whole reserved extent is scanned and the log framing
+// (tagged CRCs, strict mode) decides where the manifest really ends.
+// A torn or corrupt tail is not an error — recovery lands on the
+// last complete edit, truncates the damage away, and resumes
+// appending from there.
+func Recover(cfg Config) (*Set, *RecoveryReport, error) {
 	if cfg.ManifestSize <= 0 {
 		cfg.ManifestSize = 4 << 20
 	}
 	var cur [8]byte
 	if _, err := cfg.Backend.ReadFileAt(CurrentFileNum, cur[:], 0); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("version: reading CURRENT: %w", err)
+		return nil, nil, fmt.Errorf("version: reading CURRENT: %w", err)
 	}
 	manifestNum := binary.LittleEndian.Uint64(cur[:])
-	size, err := cfg.Backend.FileSize(manifestNum)
+	size, err := cfg.Backend.ReservedSize(manifestNum)
 	if err != nil {
-		return nil, fmt.Errorf("version: opening MANIFEST %d: %w", manifestNum, err)
+		return nil, nil, fmt.Errorf("version: opening MANIFEST %d: %w", manifestNum, err)
 	}
 	buf := make([]byte, size)
-	if _, err := cfg.Backend.ReadFileAt(manifestNum, buf, 0); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("version: reading MANIFEST %d: %w", manifestNum, err)
+	if _, err := cfg.Backend.ReadReservedAt(manifestNum, buf, 0); err != nil && err != io.EOF {
+		return nil, nil, fmt.Errorf("version: reading MANIFEST %d: %w", manifestNum, err)
 	}
 
 	s := &Set{cfg: cfg, current: &Version{}, manifestNum: manifestNum, nextFile: manifestNum + 1, sets: map[uint64]SetRecord{}}
-	r := wal.NewReader(newBytesReader(buf))
-	records := 0
+	report := &RecoveryReport{ManifestNum: manifestNum}
+	r := wal.NewTaggedReader(newBytesReader(buf), manifestNum).Strict()
+	var goodEnd int64
 	for {
 		rec, err := r.ReadRecord()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+			return nil, nil, fmt.Errorf("version: MANIFEST record %d: %w", report.Records, err)
 		}
 		edit, err := DecodeEdit(rec)
 		if err != nil {
-			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+			// The frame checksummed but the payload does not decode:
+			// treat it like a torn tail and stop at the last good edit.
+			report.TruncatedTail = true
+			break
 		}
 		if err := s.applyLocked(edit); err != nil {
-			return nil, fmt.Errorf("version: MANIFEST record %d: %w", records, err)
+			report.TruncatedTail = true
+			break
 		}
-		records++
+		goodEnd = r.LastRecordEnd()
+		report.Records++
 	}
-	if records == 0 {
-		return nil, fmt.Errorf("version: empty MANIFEST %d", manifestNum)
+	if report.Records == 0 {
+		return nil, nil, fmt.Errorf("version: no replayable edit in MANIFEST %d", manifestNum)
+	}
+	report.SkippedBytes = r.Skipped()
+	logical, _ := cfg.Backend.FileSize(manifestNum)
+	if goodEnd < logical {
+		report.TruncatedTail = true
+	}
+	if r.Skipped() > 0 {
+		report.TruncatedTail = true
 	}
 	if err := s.current.CheckInvariants(cfg.SortedLevel); err != nil {
-		return nil, fmt.Errorf("version: recovered state invalid: %w", err)
+		return nil, nil, fmt.Errorf("version: recovered state invalid: %w", err)
 	}
-	// Continue appending to the recovered manifest.
+	// Cut the damaged tail out of the manifest (also retiring its
+	// drive validity, so resumed appends cannot overlap it) and
+	// continue appending after the last complete edit.
+	if err := cfg.Backend.TruncateAppend(manifestNum, goodEnd); err != nil {
+		return nil, nil, fmt.Errorf("version: truncating MANIFEST %d to %d: %w", manifestNum, goodEnd, err)
+	}
 	f, err := cfg.Backend.OpenAppend(manifestNum)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.manifest = f
-	s.logw = wal.NewReopenedWriter(f, f.Size())
-	return s, nil
+	s.logw = wal.NewReopenedWriter(f, manifestNum, goodEnd)
+	return s, report, nil
 }
 
 // newBytesReader avoids importing bytes in two places.
@@ -171,15 +211,16 @@ func (s *Set) newManifest() error {
 	if err != nil {
 		return err
 	}
-	w := wal.NewWriter(f)
+	w := wal.NewTaggedWriter(f, num)
 	if err := w.AddRecord(s.snapshotEdit().Encode()); err != nil {
 		return err
 	}
-	// Repoint CURRENT.
+	// Repoint CURRENT atomically: write-new-then-swap, so a crash
+	// leaves CURRENT naming either the old or the new manifest, never
+	// a torn pointer.
 	var cur [8]byte
 	binary.LittleEndian.PutUint64(cur[:], num)
-	s.cfg.Backend.Remove(CurrentFileNum) // ignore not-found on first creation
-	if err := s.cfg.Backend.WriteFile(CurrentFileNum, cur[:]); err != nil {
+	if err := s.cfg.Backend.ReplaceFile(CurrentFileNum, cur[:]); err != nil {
 		return err
 	}
 	if s.manifestNum != 0 {

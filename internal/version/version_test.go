@@ -192,7 +192,7 @@ func TestSetCreateLogRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
+	r, _, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestSetCreateLogRecover(t *testing.T) {
 	if err := r.LogAndApply(&Edit{Added: []AddedFile{{Level: 2, Meta: meta(f3, "q", "r")}}}); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
+	r2, _, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestManifestRotation(t *testing.T) {
 	if s.ManifestNum() == first {
 		t.Fatal("manifest never rotated")
 	}
-	r, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
+	r, _, err := Recover(Config{Backend: backend, SortedLevel: allSorted})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestManifestRotation(t *testing.T) {
 
 func TestRecoverMissingCurrent(t *testing.T) {
 	backend := newTestBackend()
-	if _, err := Recover(Config{Backend: backend, SortedLevel: allSorted}); err == nil {
+	if _, _, err := Recover(Config{Backend: backend, SortedLevel: allSorted}); err == nil {
 		t.Error("recovery with no CURRENT accepted")
 	}
 }

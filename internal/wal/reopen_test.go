@@ -22,7 +22,7 @@ func TestReopenedWriterContinuesBlockFraming(t *testing.T) {
 	size := int64(buf.Len())
 
 	// Reopen mid-block (size is nowhere near a 32 KiB boundary).
-	w2 := NewReopenedWriter(&buf, size)
+	w2 := NewReopenedWriter(&buf, 0, size)
 	for i := 0; i < 10; i++ {
 		rec := []byte(fmt.Sprintf("second-phase-%02d", i))
 		w2.AddRecord(rec)
@@ -58,7 +58,7 @@ func TestReopenedWriterAcrossBlockBoundary(t *testing.T) {
 		w.AddRecord(fill)
 		size := int64(buf.Len())
 
-		w2 := NewReopenedWriter(&buf, size)
+		w2 := NewReopenedWriter(&buf, 0, size)
 		w2.AddRecord([]byte("tail-record"))
 
 		r := NewReader(bytes.NewReader(buf.Bytes()))

@@ -4,6 +4,13 @@
 // never crosses a block boundary, and every fragment carries a masked
 // CRC-32C over its type and payload. The reader resynchronizes at
 // block boundaries after corruption, reporting what it skipped.
+//
+// A stream may additionally be tagged with the owning file's number
+// (NewTaggedWriter / NewTaggedReader): the tag is folded into every
+// fragment CRC, so frames left behind by a previous occupant of a
+// reused extent fail the checksum instead of replaying into the wrong
+// log — the protection LevelDB's recyclable log format gets from its
+// log-number header field.
 package wal
 
 import (
@@ -35,8 +42,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // stream do not collide with CRCs computed over the stream.
 func mask(c uint32) uint32 { return ((c >> 15) | (c << 17)) + 0xa282ead8 }
 
-func fragmentCRC(ftype byte, payload []byte) uint32 {
-	c := crc32.Update(0, castagnoli, []byte{ftype})
+func fragmentCRC(tag uint64, ftype byte, payload []byte) uint32 {
+	var seed [9]byte
+	binary.LittleEndian.PutUint64(seed[0:8], tag)
+	seed[8] = ftype
+	c := crc32.Update(0, castagnoli, seed[:])
 	c = crc32.Update(c, castagnoli, payload)
 	return mask(c)
 }
@@ -44,6 +54,7 @@ func fragmentCRC(ftype byte, payload []byte) uint32 {
 // Writer appends records to an io.Writer.
 type Writer struct {
 	w           io.Writer
+	tag         uint64
 	blockOffset int // position within the current block
 	written     int64
 	records     int64
@@ -54,11 +65,19 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
+// NewTaggedWriter creates a log writer whose fragment CRCs are bound
+// to tag (the owning file's number), so a reader with a different tag
+// rejects the frames as corrupt.
+func NewTaggedWriter(w io.Writer, tag uint64) *Writer {
+	return &Writer{w: w, tag: tag}
+}
+
 // NewReopenedWriter creates a writer that continues a log whose
 // first offset bytes were written by an earlier writer, so block
 // framing stays consistent across reopen (used by the MANIFEST).
-func NewReopenedWriter(w io.Writer, offset int64) *Writer {
-	return &Writer{w: w, blockOffset: int(offset % BlockSize)}
+// tag must match the original writer's tag (0 for untagged logs).
+func NewReopenedWriter(w io.Writer, tag uint64, offset int64) *Writer {
+	return &Writer{w: w, tag: tag, blockOffset: int(offset % BlockSize)}
 }
 
 // AddRecord appends one record, fragmenting it across blocks as
@@ -109,7 +128,7 @@ func (w *Writer) AddRecord(payload []byte) error {
 
 func (w *Writer) emitFragment(ftype byte, payload []byte) error {
 	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], fragmentCRC(ftype, payload))
+	binary.LittleEndian.PutUint32(hdr[0:4], fragmentCRC(w.tag, ftype, payload))
 	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(payload)))
 	hdr[6] = ftype
 	if err := w.emit(hdr[:]); err != nil {
@@ -142,11 +161,15 @@ var ErrCorrupt = errors.New("wal: corrupt fragment")
 
 // Reader sequentially decodes records from a log stream.
 type Reader struct {
-	r       io.Reader
-	block   [BlockSize]byte
-	buf     []byte // unconsumed bytes of the current block
-	eof     bool
-	skipped int64 // bytes dropped due to corruption
+	r         io.Reader
+	tag       uint64
+	strict    bool
+	block     [BlockSize]byte
+	buf       []byte // unconsumed bytes of the current block
+	eof       bool
+	skipped   int64 // bytes dropped due to corruption
+	totalRead int64 // bytes consumed from the underlying reader
+	recordEnd int64 // stream offset just past the last returned record
 }
 
 // NewReader creates a reader over a log stream.
@@ -154,13 +177,36 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r}
 }
 
+// NewTaggedReader creates a reader that accepts only fragments whose
+// CRC was bound to tag by NewTaggedWriter.
+func NewTaggedReader(r io.Reader, tag uint64) *Reader {
+	return &Reader{r: r, tag: tag}
+}
+
+// Strict puts the reader in strict mode: the first corrupt fragment
+// ends the stream (ReadRecord returns io.EOF) instead of resyncing at
+// the next block. Recovery scans use it so that everything past a
+// torn append — including stale frames from a previous occupant of a
+// reused extent — is treated as the end of the log. Returns r.
+func (r *Reader) Strict() *Reader {
+	r.strict = true
+	return r
+}
+
 // Skipped returns the number of payload bytes dropped while
 // resynchronizing after corruption.
 func (r *Reader) Skipped() int64 { return r.skipped }
 
+// LastRecordEnd returns the stream offset immediately after the final
+// fragment of the last record ReadRecord returned (0 if none). After
+// a strict-mode scan this is the tear point: the offset at which a
+// reopened writer should resume appending.
+func (r *Reader) LastRecordEnd() int64 { return r.recordEnd }
+
 // ReadRecord returns the next record. It returns io.EOF at the clean
 // end of the log. Corrupt fragments are skipped (accounted in
-// Skipped) and reading continues at the next block.
+// Skipped) and reading continues at the next block — or, in strict
+// mode, end the stream.
 func (r *Reader) ReadRecord() ([]byte, error) {
 	var record []byte
 	inFragmented := false
@@ -177,6 +223,14 @@ func (r *Reader) ReadRecord() ([]byte, error) {
 			return nil, io.EOF
 		}
 		if err != nil {
+			if r.strict {
+				// Strict mode: the stream ends at the first damaged
+				// fragment; everything after it is unreliable.
+				r.skipped += int64(len(record)) + int64(len(r.buf))
+				r.buf = nil
+				r.eof = true
+				return nil, io.EOF
+			}
 			// Corruption: drop any partial record plus the rest of
 			// the damaged block, and resync at the next block.
 			r.skipped += int64(len(record)) + int64(len(r.buf))
@@ -190,6 +244,7 @@ func (r *Reader) ReadRecord() ([]byte, error) {
 			if inFragmented {
 				r.skipped += int64(len(record))
 			}
+			r.recordEnd = r.totalRead - int64(len(r.buf))
 			return payload, nil
 		case typeFirst:
 			if inFragmented {
@@ -208,6 +263,7 @@ func (r *Reader) ReadRecord() ([]byte, error) {
 				r.skipped += int64(len(payload))
 				continue
 			}
+			r.recordEnd = r.totalRead - int64(len(r.buf))
 			return append(record, payload...), nil
 		default:
 			r.skipped += int64(len(payload))
@@ -224,6 +280,7 @@ func (r *Reader) nextFragment() (byte, []byte, error) {
 				return 0, nil, io.EOF
 			}
 			n, err := io.ReadFull(r.r, r.block[:])
+			r.totalRead += int64(n)
 			if err == io.ErrUnexpectedEOF || err == io.EOF {
 				r.eof = true
 			} else if err != nil {
@@ -249,7 +306,7 @@ func (r *Reader) nextFragment() (byte, []byte, error) {
 		}
 		payload := r.buf[headerSize : headerSize+length]
 		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
-		if fragmentCRC(ftype, payload) != wantCRC {
+		if fragmentCRC(r.tag, ftype, payload) != wantCRC {
 			return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 		}
 		r.buf = r.buf[headerSize+length:]
