@@ -1,0 +1,141 @@
+// Command sealvet is SEALDB's project lint suite: a multichecker
+// over the custom analyzers in internal/analysis that mechanically
+// enforce the engine's determinism, locking, extent-accounting,
+// error-handling, and metric-registration contracts.
+//
+// Usage:
+//
+//	go run ./cmd/sealvet            # analyze the whole module
+//	go run ./cmd/sealvet ./internal/...
+//	go run ./cmd/sealvet -list      # describe the analyzers
+//	go run ./cmd/sealvet -notests ./internal/smr
+//
+// sealvet exits non-zero if any analyzer reports a finding. It must
+// run from inside the module (the loader resolves module import
+// paths through the go command). The framework is a stdlib-only
+// mirror of golang.org/x/tools/go/analysis, so there is no
+// -vettool integration; CI runs the binary directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sealdb/internal/analysis"
+	"sealdb/internal/analysis/sealvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	noTests := flag.Bool("notests", false, "exclude in-package _test.go files from analysis")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := sealvet.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fatalf("unknown analyzer %q (use -list)", n)
+		}
+		analyzers = filtered
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.Chdir(root); err != nil {
+		fatalf("%v", err)
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, pattern := range roots {
+		dir := strings.TrimSuffix(pattern, "/...")
+		dir = filepath.Clean(dir)
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if strings.HasSuffix(pattern, "/...") || pattern == "./..." {
+			loaded, err := loader.LoadTree(root, modPath, abs, !*noTests)
+			if err != nil {
+				fatalf("loading %s: %v", pattern, err)
+			}
+			pkgs = append(pkgs, loaded...)
+		} else {
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			importPath := modPath
+			if rel != "." {
+				importPath = modPath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.Load(abs, importPath, !*noTests)
+			if err != nil {
+				fatalf("loading %s: %v", pattern, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sealvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("sealvet: no go.mod found above %s (run inside the module)", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sealvet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want "regexp" comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest. A want
+// comment expects one diagnostic on its line per quoted regexp; lines
+// without a want comment must produce no diagnostics, and every want
+// must be matched — so each fixture doubles as a false-positive and a
+// false-negative test.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sealdb/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir (conventionally
+// testdata/src/<pkg>), applies the analyzer, and reports mismatches
+// between its diagnostics and the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(abs, filepath.Base(abs), true)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+
+	expects, err := collectWants(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	findings := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != base || e.line != f.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", base, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants parses every fixture file's comments for want
+// expectations.
+func collectWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var out []*expectation
+	fset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				quotes := quotedRe.FindAllStringSubmatch(m[1], -1)
+				if len(quotes) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", name, line, c.Text)
+				}
+				for _, q := range quotes {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", name, line, err)
+					}
+					out = append(out, &expectation{file: name, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+package errpath_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/errpath"
+)
+
+func TestErrPath(t *testing.T) {
+	analysistest.Run(t, errpath.Analyzer, "testdata/src/wal")
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	analysistest.Run(t, errpath.Analyzer, "testdata/src/unscoped")
+}

@@ -1,0 +1,9 @@
+// Package unscoped is outside the device-path scope; discards here
+// are another linter's business.
+package unscoped
+
+type f struct{}
+
+func (f *f) Sync() error { return nil }
+
+func ignore(x *f) { x.Sync() }

@@ -1,0 +1,12 @@
+package extentpair_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/extentpair"
+)
+
+func TestExtentPair(t *testing.T) {
+	analysistest.Run(t, extentpair.Analyzer, "testdata/src/alloc")
+}

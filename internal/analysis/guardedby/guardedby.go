@@ -1,0 +1,155 @@
+// Package guardedby enforces the repo's lock-annotation convention:
+// a struct field whose comment says "guarded by <mu>" may only be
+// accessed inside a function that acquires that mutex (a Lock or
+// RLock call on a field or variable of that name), is itself
+// documented as running with the lock held ("Caller holds ..." /
+// "caller must hold ..."), or is named with the *Locked suffix. The
+// check is flow-insensitive and function-local by design — it
+// catches the common review miss (a new accessor that forgets the
+// lock entirely), not lock-ordering bugs.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"sealdb/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated '// guarded by <mu>' must only be accessed in functions " +
+		"that lock <mu>, are documented 'Caller holds <mu>', or have the Locked name suffix",
+	Run: run,
+}
+
+var annotationRe = regexp.MustCompile(`guarded by (\w+)`)
+var callerHoldsRe = regexp.MustCompile(`(?i)caller(s)?\s+(holds?\b|must\s+hold)`)
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect annotated field objects across the package.
+	annotated := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						annotated[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every function body.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			if fn.Doc != nil && callerHoldsRe.MatchString(fn.Doc.Text()) {
+				continue
+			}
+			held := lockedMutexes(fn.Body)
+			reported := map[*types.Var]bool{} // one report per field per function
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				obj, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := annotated[obj]
+				if !ok || held[mu] || reported[obj] {
+					return true
+				}
+				reported[obj] = true
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is guarded by %s, but %s neither locks %s nor is documented as holding it",
+					obj.Name(), mu, fn.Name.Name, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fieldAnnotation extracts the mutex name from a field's doc or
+// trailing comment.
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := annotationRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the set of mutex names on which the body
+// calls Lock or RLock anywhere (flow-insensitive).
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if name := lastName(sel.X); name != "" {
+			held[name] = true
+		}
+		return true
+	})
+	return held
+}
+
+// lastName returns the final identifier of a selector chain
+// (d.mu -> "mu", mu -> "mu").
+func lastName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return lastName(x.X)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, guardedby.Analyzer, "testdata/src/guarded")
+}

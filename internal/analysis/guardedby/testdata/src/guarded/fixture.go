@@ -1,0 +1,60 @@
+// Package guarded is the guardedby fixture: a drive-like struct with
+// annotated fields accessed correctly and incorrectly.
+package guarded
+
+import "sync"
+
+type drive struct {
+	mu sync.Mutex
+	wp []int64 // guarded by mu
+	// host counts payload bytes.
+	// guarded by mu
+	host int64
+
+	unguarded int64
+}
+
+// Good: lock held on the access path.
+func (d *drive) HostBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.host
+}
+
+// Good: RLock counts as holding the mutex.
+type rw struct {
+	rwmu  sync.RWMutex
+	state int64 // guarded by rwmu
+}
+
+func (r *rw) State() int64 {
+	r.rwmu.RLock()
+	defer r.rwmu.RUnlock()
+	return r.state
+}
+
+// Bad: no lock anywhere in the function.
+func (d *drive) racyHost() int64 {
+	return d.host // want "field host is guarded by mu"
+}
+
+// Bad: wrong mutex.
+func (d *drive) wrongLock(other *rw) {
+	other.rwmu.Lock()
+	d.wp = append(d.wp, 1) // want "field wp is guarded by mu"
+	other.rwmu.Unlock()
+}
+
+// Good: unguarded fields carry no obligation.
+func (d *drive) Unguarded() int64 { return d.unguarded }
+
+// applyLocked is exempt through the Locked suffix convention.
+func (d *drive) applyLocked() { d.host++ }
+
+// bump applies a delta. Caller holds d.mu.
+func (d *drive) bump(delta int64) { d.host += delta }
+
+// Good: reviewed exception via the directive escape hatch.
+func (d *drive) snapshotUnsafe() int64 {
+	return d.host //sealvet:allow guardedby
+}

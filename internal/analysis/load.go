@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	TestFile   map[*ast.File]bool
+	Pkg        *types.Package
+	Info       *types.Info
+
+	directives map[string][]directive
+}
+
+// Loader parses and type-checks packages. One Loader shares a file
+// set and an importer across every Load call, so the standard
+// library (and any repo package pulled in as a dependency) is
+// type-checked at most once per process.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader creates a loader backed by the standard library's source
+// importer. The importer resolves module-relative import paths by
+// consulting the go command, so the process must run with a working
+// directory inside the module being analyzed.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the package in dir. In-package test
+// files (_test.go with the same package clause) are included when
+// includeTests is set; external test packages (package foo_test) are
+// always skipped — their subjects are checked through the package
+// proper. Files excluded by build constraints for the default build
+// context are skipped, so tag-gated variants (e.g. the
+// sealdb_invariants assert bodies) do not collide.
+func (l *Loader) Load(dir, importPath string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.fset,
+		TestFile:   map[*ast.File]bool{},
+		directives: map[string][]directive{},
+	}
+	ctxt := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		if !match {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var pkgName string
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		filePkg := f.Name.Name
+		if isTest && strings.HasSuffix(filePkg, "_test") {
+			continue // external test package: not part of the package proper
+		}
+		if pkgName == "" {
+			pkgName = filePkg
+		} else if filePkg != pkgName {
+			return nil, fmt.Errorf("%s: package %s conflicts with %s", path, filePkg, pkgName)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.TestFile[f] = isTest
+		pkg.directives[l.fset.Position(f.Pos()).Filename] = collectDirectives(l.fset, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg.Pkg = tpkg
+	return pkg, nil
+}
+
+// LoadTree loads every package under root (a directory inside the
+// module rooted at moduleRoot with module path modulePath), skipping
+// testdata, vendor, and hidden directories. Packages are returned in
+// sorted import-path order for deterministic cross-package analysis.
+func (l *Loader) LoadTree(moduleRoot, modulePath, root string, includeTests bool) ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(moduleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modulePath
+		if rel != "." {
+			importPath = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(dir, importPath, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ModulePath reads the module path from the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", root)
+}

@@ -1,0 +1,96 @@
+// Package noclock forbids wall-clock and process-global randomness
+// in the simulated-time packages. The emulated drive stack (platter,
+// smr, dband, storage, faultfs) derives every timestamp from the
+// simulated device clock and every random choice from an explicitly
+// seeded source; a stray time.Now or global math/rand call is
+// invisible in review but silently breaks the crash-replay sweep's
+// bit-for-bit reproducibility.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sealdb/internal/analysis"
+)
+
+// Analyzer is the noclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc: "forbid wall-clock time and global math/rand in simulated-time packages " +
+		"(platter, smr, dband, storage, faultfs); use the simulated device clock " +
+		"and an explicitly seeded *rand.Rand instead",
+	Run: run,
+}
+
+// scoped lists the packages (by final path element) under the
+// simulated-time contract.
+var scoped = map[string]bool{
+	"platter": true,
+	"smr":     true,
+	"dband":   true,
+	"storage": true,
+	"faultfs": true,
+}
+
+// deniedTime are the time package functions that observe or wait on
+// the wall clock. Types and constants (time.Duration, time.Millisecond)
+// remain legal: they describe simulated durations.
+var deniedTime = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// allowedRand are the math/rand package-level functions that build
+// explicitly seeded sources rather than consuming the global one.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped[analysis.PkgShortName(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if deniedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulated-time packages must derive time from the device clock",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s uses process-global random state; thread an explicitly seeded *rand.Rand instead",
+						analysis.PkgShortName(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

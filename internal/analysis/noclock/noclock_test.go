@@ -1,0 +1,16 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/noclock"
+)
+
+func TestScoped(t *testing.T) {
+	analysistest.Run(t, noclock.Analyzer, "testdata/src/smr")
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	analysistest.Run(t, noclock.Analyzer, "testdata/src/unscoped")
+}

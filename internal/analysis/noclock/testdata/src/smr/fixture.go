@@ -1,0 +1,32 @@
+// Package smr is a noclock fixture standing in for a simulated-time
+// package (matched by its final path element).
+package smr
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad exercises every denied call form.
+func bad() {
+	_ = time.Now()                      // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)        // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})         // want "time.Since reads the wall clock"
+	_ = rand.Intn(4)                    // want "global rand.Intn uses process-global random state"
+	rand.Shuffle(2, func(i, j int) {})  // want "global rand.Shuffle uses process-global random state"
+	_ = time.After(time.Microsecond)    // want "time.After reads the wall clock"
+}
+
+// good shows the sanctioned forms: durations as values, and
+// explicitly seeded sources.
+func good() time.Duration {
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(4)
+	d := 5 * time.Millisecond
+	return d
+}
+
+// suppressed shows the escape hatch for a reviewed exception.
+func suppressed() {
+	_ = time.Now() //sealvet:allow noclock
+}

@@ -1,0 +1,7 @@
+// Package unscoped is outside the simulated-time contract, so
+// wall-clock use here is legal and must produce no diagnostics.
+package unscoped
+
+import "time"
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,102 @@
+// Package obsreg enforces the observability registry's naming
+// contract: a metric name literal passed to a Registry constructor
+// (Counter, Gauge, Histogram, GaugeFunc) is registered at exactly
+// one call site across the whole repo, and follows the
+// prometheus-style [a-z0-9_] format. The registry itself is
+// get-or-create, so a duplicated literal does not fail at runtime —
+// it silently aliases two call sites onto one metric, which is
+// precisely why the check has to be static and repo-wide.
+package obsreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"sealdb/internal/analysis"
+)
+
+// Analyzer is the obsreg check. Its session spans every package in a
+// checker run, so duplicates are caught across package boundaries.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsreg",
+	Doc: "metric name literals passed to the obs registry must be unique across " +
+		"the repo, registered at one call site, and match ^[a-z][a-z0-9_]*$",
+	NewSession: func() any { return &session{seen: map[string]token.Position{}} },
+	Run:        run,
+}
+
+type session struct {
+	seen map[string]token.Position // metric name -> first registration site
+}
+
+// registryMethods are the Registry constructors that bind a name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"GaugeFunc": true,
+}
+
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	sess, _ := pass.Session.(*session)
+	if sess == nil {
+		sess = &session{seen: map[string]token.Position{}}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] || !isRegistry(pass, sel.X) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // computed names (per-level gauges) are exempt
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !nameRe.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric name %q does not match ^[a-z][a-z0-9_]*$", name)
+				return true
+			}
+			if first, dup := sess.seen[name]; dup {
+				pass.Reportf(lit.Pos(),
+					"metric %q already registered at %s:%d; registry names must have exactly one call site",
+					name, first.Filename, first.Line)
+				return true
+			}
+			sess.seen[name] = pass.Fset.Position(lit.Pos())
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistry reports whether expr's type is (a pointer to) a named
+// type called Registry — the obs registry in the real tree, or a
+// fixture stand-in.
+func isRegistry(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

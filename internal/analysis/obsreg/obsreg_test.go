@@ -1,0 +1,12 @@
+package obsreg_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/obsreg"
+)
+
+func TestObsReg(t *testing.T) {
+	analysistest.Run(t, obsreg.Analyzer, "testdata/src/wiring")
+}

@@ -1,0 +1,61 @@
+// Package wiring is the obsreg fixture: a registry shaped like
+// internal/obs's, with one clean wiring block and the violation
+// forms.
+package wiring
+
+import "fmt"
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+// Registry mirrors obs.Registry; the analyzer keys on the type name.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter            { return nil }
+func (r *Registry) Gauge(name string) *Gauge                { return nil }
+func (r *Registry) Histogram(name string) *Histogram        { return nil }
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+type metrics struct {
+	writes *Counter
+	depth  *Gauge
+}
+
+// Good: each name has exactly one call site.
+func wire(r *Registry, m *metrics) {
+	m.writes = r.Counter("sealdb_writes_total")
+	m.depth = r.Gauge("sealdb_queue_depth")
+	r.GaugeFunc("sealdb_free_bytes", func() float64 { return 0 })
+	_ = r.Histogram("sealdb_write_latency_ns")
+}
+
+// Bad: re-registering a name aliases two call sites onto one metric.
+func rewire(r *Registry) {
+	_ = r.Counter("sealdb_writes_total") // want `metric "sealdb_writes_total" already registered`
+	_ = r.Histogram("sealdb_write_latency_ns") // want `metric "sealdb_write_latency_ns" already registered`
+}
+
+// Bad: name format violations.
+func badNames(r *Registry) {
+	_ = r.Counter("SealDB-Writes") // want `metric name "SealDB-Writes" does not match`
+	_ = r.Gauge("9starts_with_digit") // want `metric name "9starts_with_digit" does not match`
+}
+
+// Good: computed names (the per-level gauge pattern) are exempt —
+// their uniqueness comes from the loop variable.
+func computed(r *Registry) {
+	for l := 0; l < 7; l++ {
+		r.GaugeFunc(fmt.Sprintf("sealdb_level_%d_files", l), func() float64 { return 0 })
+	}
+}
+
+// Good: a non-Registry receiver with the same method name is out of
+// scope.
+type other struct{}
+
+func (o *other) Counter(name string) int { return 0 }
+
+func unrelated(o *other) {
+	_ = o.Counter("sealdb_writes_total")
+}

@@ -1,0 +1,62 @@
+package sealvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sealdb/internal/analysis"
+	"sealdb/internal/analysis/sealvet"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository —
+// the same sweep CI's sealvet job performs — so a contract violation
+// fails the ordinary test run too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis sweep skipped in short mode")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source importer resolves module paths through the go
+	// command, which keys off the working directory.
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadTree(root, modPath, root, true)
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, f := range analysis.Run(pkgs, sealvet.Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the
+// directory containing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

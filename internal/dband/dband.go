@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"sealdb/internal/invariant"
 )
 
 // ErrNoSpace is returned when neither the free list nor the frontier
@@ -63,18 +65,18 @@ type Manager struct {
 	unit     int64 // size-class granularity (one SSTable)
 	guard    int64 // guard-region size reserved downstream of inserts
 
-	frontier int64
-	classes  []list // classes[i]: regions with length in [i*unit, (i+1)*unit); last class open-ended
-	byStart  map[int64]*region
-	byEnd    map[int64]*region // keyed by region end offset
-	freeByte int64             // total bytes in the free list
+	frontier int64             // guarded by mu
+	classes  []list            // classes[i]: regions with length in [i*unit, (i+1)*unit); last class open-ended; guarded by mu
+	byStart  map[int64]*region // guarded by mu
+	byEnd    map[int64]*region // keyed by region end offset; guarded by mu
+	freeByte int64             // total bytes in the free list; guarded by mu
 
-	stats Stats
+	stats Stats // guarded by mu
 
 	// observer, when set, sees every allocator event: op is
 	// "alloc_append" (frontier), "alloc_insert" (free-list reuse) or
 	// "free". Called with the manager lock held; the observer must
-	// not call back into the manager.
+	// not call back into the manager. guarded by mu.
 	observer func(op string, e Extent)
 }
 
@@ -152,6 +154,8 @@ func (m *Manager) Guard() int64 { return m.guard }
 // Capacity returns the managed capacity in bytes.
 func (m *Manager) Capacity() int64 { return m.capacity }
 
+// classOf maps a region length to its free-list size class.
+// Caller holds m.mu.
 func (m *Manager) classOf(length int64) int {
 	c := int(length / m.unit)
 	if c >= len(m.classes) {
@@ -160,6 +164,8 @@ func (m *Manager) classOf(length int64) int {
 	return c
 }
 
+// addRegion links a new free region into the size-class lists and
+// offset indexes. Caller holds m.mu.
 func (m *Manager) addRegion(off, length int64) *region {
 	r := &region{off: off, length: length, class: m.classOf(length)}
 	m.classes[r.class].pushBack(r)
@@ -169,11 +175,49 @@ func (m *Manager) addRegion(off, length int64) *region {
 	return r
 }
 
+// removeRegion unlinks a free region from the size-class lists and
+// offset indexes. Caller holds m.mu.
 func (m *Manager) removeRegion(r *region) {
 	m.classes[r.class].remove(r)
 	delete(m.byStart, r.off)
 	delete(m.byEnd, r.off+r.length)
 	m.freeByte -= r.length
+}
+
+// checkInvariants validates the allocator's internal accounting: each
+// free region is filed in the class matching its length, indexed by
+// both endpoints, disjoint from every other region, entirely below
+// the frontier, and the region lengths sum to freeByte. It only does
+// work under -tags sealdb_invariants. Caller holds m.mu.
+func (m *Manager) checkInvariants() {
+	if !invariant.Enabled {
+		return
+	}
+	var regions []*region
+	var sum int64
+	for c := range m.classes {
+		for r := m.classes[c].head; r != nil; r = r.next {
+			invariant.Assert(r.length > 0, "free region [%d,%d) has non-positive length", r.off, r.off+r.length)
+			invariant.Assert(r.class == c && m.classOf(r.length) == c,
+				"region [%d,%d) filed in class %d, expected %d", r.off, r.off+r.length, c, m.classOf(r.length))
+			invariant.Assert(m.byStart[r.off] == r, "byStart[%d] does not point at its region", r.off)
+			invariant.Assert(m.byEnd[r.off+r.length] == r, "byEnd[%d] does not point at its region", r.off+r.length)
+			invariant.Assert(r.off+r.length <= m.frontier,
+				"free region [%d,%d) extends past the frontier %d", r.off, r.off+r.length, m.frontier)
+			regions = append(regions, r)
+			sum += r.length
+		}
+	}
+	invariant.Assert(len(regions) == len(m.byStart) && len(regions) == len(m.byEnd),
+		"index sizes (byStart %d, byEnd %d) disagree with %d listed regions", len(m.byStart), len(m.byEnd), len(regions))
+	invariant.Assert(sum == m.freeByte, "free-list bytes %d != freeByte counter %d", sum, m.freeByte)
+	invariant.Assert(m.frontier >= 0 && m.frontier <= m.capacity, "frontier %d outside [0,%d]", m.frontier, m.capacity)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].off < regions[j].off })
+	for i := 1; i < len(regions); i++ {
+		prev, cur := regions[i-1], regions[i]
+		invariant.Assert(prev.off+prev.length <= cur.off,
+			"free regions [%d,%d) and [%d,%d) overlap", prev.off, prev.off+prev.length, cur.off, cur.off+cur.length)
+	}
 }
 
 // Alloc reserves an extent of exactly size bytes. It first searches
@@ -188,6 +232,9 @@ func (m *Manager) Alloc(size int64) (Extent, bool, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if invariant.Enabled {
+		defer m.checkInvariants()
+	}
 
 	need := size + m.guard
 	if r := m.findFit(need); r != nil {
@@ -250,6 +297,9 @@ func (m *Manager) Free(e Extent) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if invariant.Enabled {
+		defer m.checkInvariants()
+	}
 	m.stats.Frees++
 	m.notify("free", e)
 

@@ -1,0 +1,35 @@
+//go:build sealdb_invariants
+
+// Package invariant provides build-tag-gated runtime assertions for
+// SEALDB's internal consistency contracts: band write-pointer
+// monotonicity, extent-set disjointness, allocator free-list
+// accounting, and version level-overlap rules.
+//
+// By default the package compiles to nothing: Enabled is a false
+// constant and every Assert call site is dead code the compiler
+// deletes. Building with -tags sealdb_invariants turns Enabled on and
+// makes Assert panic on violation, so the ordinary test suite doubles
+// as an invariant-checking suite:
+//
+//	go test -tags sealdb_invariants ./...
+//
+// Guard any check that is itself expensive to compute behind Enabled:
+//
+//	if invariant.Enabled {
+//	    invariant.Assert(set.wellFormed(), "overlapping extents")
+//	}
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so that call sites gated on it compile away entirely in
+// default builds.
+const Enabled = true
+
+// Assert panics with a formatted message if cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !sealdb_invariants
+
+// Package invariant provides build-tag-gated runtime assertions; in
+// this default build Enabled is false and Assert is a no-op that the
+// compiler eliminates. See invariant.go (built under -tags
+// sealdb_invariants) for the full package documentation.
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assert does nothing in default builds.
+func Assert(bool, string, ...any) {}

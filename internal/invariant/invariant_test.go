@@ -1,0 +1,31 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"sealdb/internal/invariant"
+)
+
+// TestAssert verifies both build flavours: with -tags
+// sealdb_invariants a false condition panics with the formatted
+// message; in default builds Assert is a no-op.
+func TestAssert(t *testing.T) {
+	invariant.Assert(true, "never fires")
+
+	defer func() {
+		r := recover()
+		if invariant.Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with invariants enabled")
+		}
+		if !invariant.Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked in a default build: %v", r)
+		}
+		if invariant.Enabled {
+			msg, ok := r.(string)
+			if !ok || msg != "invariant violated: wp went backwards: 7 < 9" {
+				t.Fatalf("unexpected panic value: %v", r)
+			}
+		}
+	}()
+	invariant.Assert(false, "wp went backwards: %d < %d", 7, 9)
+}

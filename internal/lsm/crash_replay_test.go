@@ -22,7 +22,7 @@ import (
 func crashConfig(mode lsm.Mode, stride int64) crashtest.Config {
 	return crashtest.Config{
 		DB: lsm.Config{
-			Mode:     mode,
+			Mode: mode,
 			// 256 MiB keeps an extfs block group (capacity/64) larger
 			// than the manifest extent; the platter is sparse, so the
 			// capacity costs nothing.

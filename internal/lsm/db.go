@@ -130,7 +130,7 @@ type DB struct {
 	memSeed   int64
 	tables    map[uint64]*sstable.Table
 	sets      *setRegistry
-	snapshots map[kv.SeqNum]int
+	snapshots map[kv.SeqNum]int // guarded by mu
 	stats     Stats
 	compID    int
 	closed    bool

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"sealdb/internal/invariant"
 	"sealdb/internal/kv"
 	"sealdb/internal/version"
 )
@@ -160,6 +161,9 @@ func (s *Snapshot) Release() {
 	s.db = nil
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if invariant.Enabled {
+		invariant.Assert(d.snapshots[s.seq] > 0, "releasing snapshot at seq %d with no registered pin", s.seq)
+	}
 	if n := d.snapshots[s.seq]; n > 1 {
 		d.snapshots[s.seq] = n - 1
 	} else {

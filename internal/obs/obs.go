@@ -74,10 +74,10 @@ func (g *Gauge) Value() int64 {
 // one point in time (gauge functions are evaluated then).
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() float64
-	hists      map[string]*Histogram
+	counters   map[string]*Counter       // guarded by mu
+	gauges     map[string]*Gauge         // guarded by mu
+	gaugeFuncs map[string]func() float64 // guarded by mu
+	hists      map[string]*Histogram     // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

@@ -71,6 +71,22 @@ func (s *extentSet) remove(e Extent) {
 	*s = out
 }
 
+// wellFormed reports whether the set upholds its structural
+// invariant: positive-length extents, strictly ordered, disjoint and
+// non-adjacent (adjacent runs must have been merged on insert). Used
+// by the sealdb_invariants build of the raw drive.
+func (s extentSet) wellFormed() bool {
+	for i, e := range s {
+		if e.Len <= 0 {
+			return false
+		}
+		if i > 0 && s[i-1].End() >= e.Off {
+			return false
+		}
+	}
+	return true
+}
+
 // total returns the summed length of all extents.
 func (s extentSet) total() int64 {
 	var t int64

@@ -2,6 +2,7 @@ package smr
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"sealdb/internal/platter"
@@ -44,11 +45,13 @@ type RetryStats struct {
 // is added to the duration returned by WriteAt, so the cost model
 // stays honest without real sleeps.
 type RetryDrive struct {
-	inner    Drive
-	retries  int
-	backoff  time.Duration
-	stats    RetryStats
-	observer func(attempt int, err error, recovered bool)
+	inner   Drive
+	retries int
+	backoff time.Duration
+
+	mu       sync.Mutex
+	stats    RetryStats                                   // guarded by mu
+	observer func(attempt int, err error, recovered bool) // guarded by mu
 }
 
 // NewRetry wraps inner with a retry policy of up to retries extra
@@ -67,11 +70,27 @@ func NewRetry(inner Drive, retries int, backoff time.Duration) *RetryDrive {
 // (recovered reports whether that attempt succeeded). Used by the
 // observability layer to journal retry storms.
 func (d *RetryDrive) SetObserver(fn func(attempt int, err error, recovered bool)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.observer = fn
 }
 
 // Stats returns a snapshot of the retry counters.
-func (d *RetryDrive) Stats() RetryStats { return d.stats }
+func (d *RetryDrive) Stats() RetryStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// note updates the retry counters and fetches the observer under the
+// drive's lock, so concurrent writers (WAL appends racing a manifest
+// rotation) do not tear the counters.
+func (d *RetryDrive) note(f func(*RetryStats)) func(attempt int, err error, recovered bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f(&d.stats)
+	return d.observer
+}
 
 // Unwrap implements Unwrapper.
 func (d *RetryDrive) Unwrap() Drive { return d.inner }
@@ -86,25 +105,24 @@ func (d *RetryDrive) WriteAt(p []byte, off int64) (time.Duration, error) {
 	for attempt := 1; attempt <= d.retries; attempt++ {
 		total += wait
 		wait *= 2
-		d.stats.Retried++
+		d.note(func(s *RetryStats) { s.Retried++ })
 		dur, retryErr := d.inner.WriteAt(p, off)
 		total += dur
 		if retryErr == nil {
-			d.stats.Recovered++
-			if d.observer != nil {
-				d.observer(attempt, err, true)
+			if obs := d.note(func(s *RetryStats) { s.Recovered++ }); obs != nil {
+				obs(attempt, err, true)
 			}
 			return total, nil
 		}
-		if d.observer != nil {
-			d.observer(attempt, retryErr, false)
+		if obs := d.note(func(*RetryStats) {}); obs != nil {
+			obs(attempt, retryErr, false)
 		}
 		err = retryErr
 		if !IsTransient(err) {
 			return total, err
 		}
 	}
-	d.stats.Exhausted++
+	d.note(func(s *RetryStats) { s.Exhausted++ })
 	return total, err
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"sealdb/internal/invariant"
 	"sealdb/internal/platter"
 )
 
@@ -81,23 +82,23 @@ type FixedBandDrive struct {
 	cacheStart int64
 
 	mu       sync.Mutex
-	wp       []int64 // per-band write pointer (valid bytes from band start)
-	host     int64   // host payload bytes written
-	rmws     int64   // number of band cleaning (read-modify-write) episodes
-	cachePos int64   // append cursor within the media cache region
+	wp       []int64 // per-band write pointer (valid bytes from band start); guarded by mu
+	host     int64   // host payload bytes written; guarded by mu
+	rmws     int64   // number of band cleaning (read-modify-write) episodes; guarded by mu
+	cachePos int64   // append cursor within the media cache region; guarded by mu
 
-	staged      int64 // writes staged into the media cache
-	stagedBytes int64
-	cleanBytes  int64 // bytes rewritten by cleaning passes
+	staged      int64 // writes staged into the media cache; guarded by mu
+	stagedBytes int64 // guarded by mu
+	cleanBytes  int64 // bytes rewritten by cleaning passes; guarded by mu
 
 	// onClean, when set, observes every cleaning episode: the band,
 	// the bytes rewritten, and the device time consumed. Called with
 	// the drive lock held; the observer must not call back into the
-	// drive.
+	// drive. guarded by mu
 	onClean func(band, bytes int64, d time.Duration)
 
-	buffered   map[int64][]bufWrite // band -> pending cached writes
-	dirtyOrder []int64              // bands in FIFO dirty order
+	buffered   map[int64][]bufWrite // band -> pending cached writes; guarded by mu
+	dirtyOrder []int64              // bands in FIFO dirty order; guarded by mu
 }
 
 type bufWrite struct {
@@ -269,6 +270,10 @@ func (d *FixedBandDrive) writeSegment(band, bandStart, inBand int64, p []byte) (
 			dt, err := d.disk.WriteAt(p, bandStart+inBand)
 			if err == nil {
 				d.wp[band] = inBand + n
+				if invariant.Enabled {
+					invariant.Assert(d.wp[band] >= wp && d.wp[band] <= d.bandSize,
+						"band %d write pointer %d not in [%d,%d]", band, d.wp[band], wp, d.bandSize)
+				}
 			}
 			return dt, err
 		}
@@ -281,6 +286,10 @@ func (d *FixedBandDrive) writeSegment(band, bandStart, inBand int64, p []byte) (
 			dt, err := d.disk.WriteAt(pad, bandStart+wp)
 			if err == nil {
 				d.wp[band] = inBand + n
+				if invariant.Enabled {
+					invariant.Assert(d.wp[band] >= wp && d.wp[band] <= d.bandSize,
+						"band %d write pointer %d not in [%d,%d]", band, d.wp[band], wp, d.bandSize)
+				}
 			}
 			return dt, err
 		}
@@ -363,6 +372,10 @@ func (d *FixedBandDrive) cleanBand(band int64) (time.Duration, error) {
 	total += dt
 	if err != nil {
 		return total, err
+	}
+	if invariant.Enabled {
+		invariant.Assert(newLen >= wp && newLen <= d.bandSize,
+			"band %d clean shrank or overflowed the band: %d not in [%d,%d]", band, newLen, wp, d.bandSize)
 	}
 	d.wp[band] = newLen
 	d.cleanBytes += newLen
@@ -447,8 +460,8 @@ type RawDrive struct {
 	guard int64
 
 	mu    sync.Mutex
-	valid extentSet
-	host  int64
+	valid extentSet // guarded by mu
+	host  int64     // guarded by mu
 }
 
 // NewRaw creates a raw drive whose writes damage the guard bytes that
@@ -497,6 +510,9 @@ func (d *RawDrive) WriteAt(p []byte, off int64) (time.Duration, error) {
 	}
 	d.valid.insert(Extent{Off: off, Len: n})
 	d.host += n
+	if invariant.Enabled {
+		invariant.Assert(d.valid.wellFormed(), "raw drive validity set malformed after insert of [%d,%d)", off, off+n)
+	}
 	d.mu.Unlock()
 	return d.disk.WriteAt(p, off)
 }
@@ -506,6 +522,9 @@ func (d *RawDrive) Free(off, length int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.valid.remove(Extent{Off: off, Len: length})
+	if invariant.Enabled {
+		invariant.Assert(d.valid.wellFormed(), "raw drive validity set malformed after free of [%d,%d)", off, off+length)
+	}
 	return nil
 }
 

@@ -1,0 +1,55 @@
+package sstable
+
+import (
+	"bytes"
+	"testing"
+
+	"sealdb/internal/kv"
+)
+
+// FuzzTableRead drives the table reader and the low-level block
+// decoder with fuzzed bytes: whatever the input, Open must either
+// reject it or serve reads without panicking. The corpus is seeded
+// with a small valid table (so the fuzzer starts from structurally
+// interesting bytes) plus a few degenerate shapes.
+//
+// CI runs this as a smoke pass (go test -fuzz=Fuzz -fuzztime=30s);
+// locally it can run for as long as you like. The deterministic
+// corruption sweeps in fuzz_robustness_test.go stay the regression
+// baseline — this target explores beyond them.
+func FuzzTableRead(f *testing.F) {
+	b := NewBuilder()
+	for i, k := range []string{"alpha", "bravo", "charlie", "delta", "echo"} {
+		ik := kv.MakeInternalKey(nil, []byte(k), kv.SeqNum(i+1), kv.KindSet)
+		b.Add(ik, bytes.Repeat([]byte{byte('a' + i)}, 16))
+	}
+	seed, _, err := b.Finish()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:len(seed)/2])
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Open(bytes.NewReader(data), int64(len(data)), 1, nil)
+		if err == nil && tbl != nil {
+			tbl.Get([]byte("alpha"), kv.MaxSeqNum)
+			tbl.Get([]byte("zulu"), kv.MaxSeqNum)
+			it := tbl.NewIterator()
+			n := 0
+			for it.SeekToFirst(); it.Valid() && n < 100000; it.Next() {
+				n++
+			}
+			it.Seek(kv.MakeInternalKey(nil, []byte("charlie"), kv.MaxSeqNum, kv.KindSet))
+		}
+		if blk, err := decodeBlock(data); err == nil && blk != nil {
+			it := newBlockIter(blk)
+			n := 0
+			for it.SeekToFirst(); it.Valid() && n < 100000; it.Next() {
+				n++
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sealdb/internal/dband"
+	"sealdb/internal/invariant"
 	"sealdb/internal/smr"
 )
 
@@ -25,8 +26,8 @@ type BandAllocator struct {
 	bandSize int64
 
 	mu       sync.Mutex
-	nextBand int64
-	freeList []int64 // recycled band indexes, LIFO
+	nextBand int64   // guarded by mu
+	freeList []int64 // recycled band indexes, LIFO; guarded by mu
 }
 
 // NewBandAllocator creates the policy over a fixed-band drive.
@@ -56,6 +57,10 @@ func (a *BandAllocator) Alloc(size int64) (Extent, error) {
 		}
 		band = a.nextBand
 		a.nextBand += nBands
+	}
+	if invariant.Enabled {
+		invariant.Assert(band >= 0 && (band+nBands)*a.bandSize <= a.drive.Capacity(),
+			"band run [%d,%d) escapes the drive", band, band+nBands)
 	}
 	return Extent{Off: band * a.bandSize, Len: size}, nil
 }

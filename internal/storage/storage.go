@@ -71,8 +71,8 @@ type Backend struct {
 	writeMu sync.Mutex
 
 	mu    sync.Mutex
-	files map[uint64]*fileInfo
-	stats BackendStats
+	files map[uint64]*fileInfo // guarded by mu
+	stats BackendStats         // guarded by mu
 }
 
 // BackendStats counts backend activity: whole-blob writes, grouped
@@ -361,7 +361,7 @@ type AppendFile struct {
 	mu    sync.Mutex
 	ext   Extent
 	limit int64
-	pos   int64
+	pos   int64 // guarded by mu
 }
 
 // CreateAppend reserves maxSize bytes for an append-only file. On a

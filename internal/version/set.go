@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"sealdb/internal/invariant"
 	"sealdb/internal/kv"
 	"sealdb/internal/storage"
 	"sealdb/internal/wal"
@@ -34,16 +35,16 @@ type Set struct {
 	mu  sync.Mutex
 	cfg Config
 
-	current     *Version
-	manifestNum uint64
-	manifest    *storage.AppendFile
-	logw        *wal.Writer
+	current     *Version            // guarded by mu
+	manifestNum uint64              // guarded by mu
+	manifest    *storage.AppendFile // guarded by mu
+	logw        *wal.Writer         // guarded by mu
 
-	nextFile   uint64
-	lastSeq    kv.SeqNum
-	logNum     uint64
-	compactPtr [NumLevels]kv.InternalKey
-	sets       map[uint64]SetRecord
+	nextFile   uint64                    // guarded by mu
+	lastSeq    kv.SeqNum                 // guarded by mu
+	logNum     uint64                    // guarded by mu
+	compactPtr [NumLevels]kv.InternalKey // guarded by mu
+	sets       map[uint64]SetRecord      // guarded by mu
 }
 
 // Create initializes a brand-new database state.
@@ -135,7 +136,9 @@ func Recover(cfg Config) (*Set, *RecoveryReport, error) {
 	if r.Skipped() > 0 {
 		report.TruncatedTail = true
 	}
-	if err := s.current.CheckInvariants(cfg.SortedLevel); err != nil {
+	// Construction-time accesses below run before the Set escapes to
+	// any other goroutine, so they need no lock.
+	if err := s.current.CheckInvariants(cfg.SortedLevel); err != nil { //sealvet:allow guardedby
 		return nil, nil, fmt.Errorf("version: recovered state invalid: %w", err)
 	}
 	// Cut the damaged tail out of the manifest (also retiring its
@@ -148,8 +151,8 @@ func Recover(cfg Config) (*Set, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s.manifest = f
-	s.logw = wal.NewReopenedWriter(f, manifestNum, goodEnd)
+	s.manifest = f                                          //sealvet:allow guardedby
+	s.logw = wal.NewReopenedWriter(f, manifestNum, goodEnd) //sealvet:allow guardedby
 	return s, report, nil
 }
 
@@ -203,7 +206,8 @@ func (s *Set) applyLocked(e *Edit) error {
 }
 
 // newManifest starts a fresh MANIFEST containing a snapshot of the
-// current state, and repoints CURRENT at it.
+// current state, and repoints CURRENT at it. Caller holds s.mu
+// (except during construction, before the Set escapes).
 func (s *Set) newManifest() error {
 	num := s.nextFile
 	s.nextFile++
@@ -233,6 +237,7 @@ func (s *Set) newManifest() error {
 }
 
 // snapshotEdit captures the full state as a single edit.
+// Caller holds s.mu.
 func (s *Set) snapshotEdit() *Edit {
 	e := &Edit{
 		HasLogNum: true, LogNum: s.logNum,
@@ -267,12 +272,30 @@ func (s *Set) LogAndApply(e *Edit) error {
 		if err := s.applyLocked(e); err != nil {
 			return err
 		}
+		s.checkInvariantsLocked()
 		return s.newManifest()
 	}
 	if err := s.logw.AddRecord(rec); err != nil {
 		return err
 	}
-	return s.applyLocked(e)
+	if err := s.applyLocked(e); err != nil {
+		return err
+	}
+	s.checkInvariantsLocked()
+	return nil
+}
+
+// checkInvariantsLocked re-validates the live version's level
+// invariants (sorted levels disjoint and ordered, file numbers sane)
+// after an edit lands. It only does work under -tags
+// sealdb_invariants. Caller holds s.mu.
+func (s *Set) checkInvariantsLocked() {
+	if !invariant.Enabled {
+		return
+	}
+	if err := s.current.CheckInvariants(s.cfg.SortedLevel); err != nil {
+		invariant.Assert(false, "version state invalid after edit: %v", err)
+	}
 }
 
 // Current returns the live version. The returned value is immutable.

@@ -1,0 +1,121 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// recordingStore logs every operation the runner issues — kind, key,
+// and value bytes — so two runs can be compared event for event.
+type recordingStore struct {
+	ops []string
+}
+
+func (s *recordingStore) Put(key, value []byte) error {
+	s.ops = append(s.ops, fmt.Sprintf("put %s %x", key, value))
+	return nil
+}
+
+func (s *recordingStore) Get(key []byte) ([]byte, error) {
+	s.ops = append(s.ops, fmt.Sprintf("get %s", key))
+	return nil, nil
+}
+
+func (s *recordingStore) ScanN(start []byte, n int) (int, error) {
+	s.ops = append(s.ops, fmt.Sprintf("scan %s %d", start, n))
+	return n, nil
+}
+
+// TestRunnerDeterminism: two runners with the same seed must emit
+// byte-identical operation streams across load and every core
+// workload. The whole experiment pipeline leans on this — a paper
+// figure is reproducible only if the workload driving it is.
+func TestRunnerDeterminism(t *testing.T) {
+	const seed = 42
+	run := func() []string {
+		store := &recordingStore{}
+		r := NewRunner(store, 32, seed)
+		if err := r.Load(200); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range CoreWorkloads() {
+			if _, err := r.Run(w, 300); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return store.ops
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d ops", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged:\n  first:  %s\n  second: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunnerSeedSensitivity: different seeds must actually produce
+// different streams, or the determinism test above proves nothing.
+func TestRunnerSeedSensitivity(t *testing.T) {
+	run := func(seed int64) []string {
+		store := &recordingStore{}
+		r := NewRunner(store, 32, seed)
+		if err := r.Load(50); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(WorkloadA, 200); err != nil {
+			t.Fatal(err)
+		}
+		return store.ops
+	}
+	a, b := run(1), run(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical operation streams")
+	}
+}
+
+// TestGeneratorDeterminism: each request-distribution generator must
+// be a pure function of its rng stream.
+func TestGeneratorDeterminism(t *testing.T) {
+	const n = 10_000
+	gens := map[string]func() Generator{
+		"uniform":           func() Generator { return Uniform{N: n} },
+		"zipfian":           func() Generator { return NewZipfian(n) },
+		"scrambled_zipfian": func() Generator { return NewScrambledZipfian(n) },
+		"latest":            func() Generator { return NewLatest(n) },
+	}
+	for name, mk := range gens {
+		t.Run(name, func(t *testing.T) {
+			draw := func() []int64 {
+				g := mk()
+				rng := rand.New(rand.NewSource(99))
+				out := make([]int64, 2000)
+				for i := range out {
+					out[i] = g.Next(rng)
+					if out[i] < 0 || out[i] >= n {
+						t.Fatalf("draw %d out of range: %d", i, out[i])
+					}
+				}
+				return out
+			}
+			a, b := draw(), draw()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("draw %d diverged: %d vs %d", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
