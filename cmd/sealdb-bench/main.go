@@ -43,8 +43,17 @@ func main() {
 		gc      = flag.Bool("gc", false, "also run the dynamic-band GC ablation (DefragmentBands)")
 		latency = flag.Bool("latency", false, "also run the per-operation latency profile")
 		serve   = flag.String("serve", "", "serve /metrics and /debug for the store currently under test on this address (e.g. :8080)")
+
+		ycsbnet  = flag.String("ycsbnet", "", "run this YCSB workload (A-F) both in-process and through a sealdb server over TCP, comparing throughput")
+		netrecs  = flag.Int64("netrecords", 20000, "records to load for -ycsbnet")
+		netconns = flag.Int("netclients", 4, "client goroutines (and pooled connections) for -ycsbnet")
 	)
 	flag.Parse()
+
+	if *ycsbnet != "" {
+		runYCSBNet(*ycsbnet, *netrecs, *ops, 1024, seed1(*seed), *netconns)
+		return
+	}
 
 	o := bench.DefaultOptions()
 	o.Seed = seed1(*seed)

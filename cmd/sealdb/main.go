@@ -9,6 +9,11 @@
 //	sealdb -mode sealdb -load 100000 -get user000000000042
 //	sealdb -mode leveldb -load 50000 -scan user000000000100:10 -stats
 //	sealdb -mode sealdb -load 200000 -ycsb A -ops 10000
+//
+// The serve subcommand instead exposes the store over the wire
+// protocol for sealclient consumers (see DESIGN.md, "Serving layer"):
+//
+//	sealdb serve -addr :7070 -mode sealdb -load 100000 -obs :8080
 package main
 
 import (
@@ -26,6 +31,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		mode   = flag.String("mode", "sealdb", "engine mode: leveldb, leveldb+sets, smrdb, sealdb")
 		load   = flag.Int64("load", 0, "records to load (random order) before running operations")

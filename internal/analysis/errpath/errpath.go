@@ -1,8 +1,12 @@
 // Package errpath forbids discarded errors on the device write/sync
-// paths of the smr, wal, and storage packages. A swallowed write
-// error there silently corrupts the durability story the crash-replay
-// suite depends on: the engine believes bytes are on the platter that
-// never landed. Both discard forms are caught — the bare call
+// paths of the smr, wal, and storage packages, and on the network
+// write paths of the wire and server packages. A swallowed write
+// error on the device side silently corrupts the durability story the
+// crash-replay suite depends on: the engine believes bytes are on the
+// platter that never landed. On the serving side the stakes are the
+// same one layer up: a dropped WriteFrame error acknowledges a
+// request the client never hears about, or leaks a connection whose
+// writer died. Both discard forms are caught — the bare call
 // statement and an assignment with the blank identifier in the error
 // position.
 package errpath
@@ -19,15 +23,26 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "errpath",
 	Doc: "no discarded errors (bare call or blank-identifier assignment) from " +
-		"write/sync/flush/free calls in the smr, wal, and storage packages",
+		"write/sync/flush/free calls in the smr, wal, storage, wire, and server packages",
 	Run: run,
 }
 
-// scoped lists the device-path packages by final path element.
+// scoped lists the checked packages by final path element. Scope
+// decisions for the serving layer (PR 4): wire and server are in —
+// their Write* calls carry acknowledgements, and a discarded error
+// there breaks the at-most-once ack contract the client relies on.
+// sealclient is out: its writes are covered by the waiter mechanism
+// (any send failure kills the connection and fails every pending
+// request), so per-call discards cannot lose an outcome. The server
+// stays OUT of noclock's simulated-time scope — deadlines, drain
+// timeouts, and latency series are real wall-clock concerns; see the
+// noclock analyzer's scope comment.
 var scoped = map[string]bool{
 	"smr":     true,
 	"wal":     true,
 	"storage": true,
+	"wire":    true,
+	"server":  true,
 }
 
 // verbPrefixes name the device-mutating calls whose errors are

@@ -11,6 +11,10 @@ func TestErrPath(t *testing.T) {
 	analysistest.Run(t, errpath.Analyzer, "testdata/src/wal")
 }
 
+func TestServingLayerScoped(t *testing.T) {
+	analysistest.Run(t, errpath.Analyzer, "testdata/src/server")
+}
+
 func TestOutOfScopePackageIgnored(t *testing.T) {
 	analysistest.Run(t, errpath.Analyzer, "testdata/src/unscoped")
 }

@@ -1,0 +1,30 @@
+// Package server is the serving-layer errpath fixture: the analyzer's
+// scope extension (PR 4) must flag discarded network-write errors here
+// exactly as it does on the device path.
+package server
+
+type framer struct{}
+
+func (f *framer) WriteFrame(p []byte) error { return nil }
+func (f *framer) Flush() error              { return nil }
+func (f *framer) Remote() string            { return "" }
+
+// Bad: a dropped WriteFrame error is a lost acknowledgement.
+func discards(f *framer, p []byte) {
+	f.WriteFrame(p)       // want "error from WriteFrame discarded on device write/sync path"
+	_ = f.Flush()         // want "error from Flush discarded on device write/sync path"
+	defer f.WriteFrame(p) // want "error from WriteFrame discarded on device write/sync path"
+}
+
+// Good: errors handled or propagated.
+func handled(f *framer, p []byte) error {
+	if err := f.WriteFrame(p); err != nil {
+		return err
+	}
+	return f.Flush()
+}
+
+// Good: non-write calls are out of scope.
+func nonWrite(f *framer) {
+	_ = f.Remote()
+}

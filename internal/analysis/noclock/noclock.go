@@ -24,7 +24,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scoped lists the packages (by final path element) under the
-// simulated-time contract.
+// simulated-time contract. Deliberately NOT scoped (PR 4): the
+// serving layer (server, sealclient, wire) sits above the emulated
+// device and talks to real sockets — its read/write deadlines, drain
+// timeouts, and latency histograms are wall-clock by nature, and
+// forcing them onto the simulated clock would tie network liveness to
+// device activity. The serving layer is instead covered by errpath
+// (lost-acknowledgement discards); see that analyzer's scope comment.
 var scoped = map[string]bool{
 	"platter": true,
 	"smr":     true,
@@ -51,10 +57,10 @@ var deniedTime = map[string]bool{
 // allowedRand are the math/rand package-level functions that build
 // explicitly seeded sources rather than consuming the global one.
 var allowedRand = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true,
 }
 

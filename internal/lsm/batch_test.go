@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -120,6 +121,31 @@ func TestBatchReset(t *testing.T) {
 	})
 	if count != 1 {
 		t.Errorf("decoded %d entries after reuse", count)
+	}
+}
+
+func TestBatchResetKeepsCapacity(t *testing.T) {
+	// The server's batch pool leans on Reset keeping the backing
+	// buffer: a pooled batch must not reallocate when refilled to its
+	// previous size.
+	b := NewBatch()
+	val := make([]byte, 1024)
+	for i := 0; i < 64; i++ {
+		b.Put([]byte(fmt.Sprintf("key%04d", i)), val)
+	}
+	grown := b.Cap()
+	if grown <= batchHeaderLen {
+		t.Fatalf("Cap() = %d, want growth past the header", grown)
+	}
+	b.Reset()
+	if b.Cap() != grown {
+		t.Fatalf("Reset changed capacity: %d -> %d", grown, b.Cap())
+	}
+	for i := 0; i < 64; i++ {
+		b.Put([]byte(fmt.Sprintf("key%04d", i)), val)
+	}
+	if b.Cap() != grown {
+		t.Fatalf("refill to the same size reallocated: %d -> %d", grown, b.Cap())
 	}
 }
 

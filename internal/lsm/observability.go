@@ -233,6 +233,13 @@ func (d *DB) installDeviceObservers() {
 	}
 }
 
+// ObsRegistry returns the DB's metrics registry so colocated layers
+// (the network server) can register their own series alongside the
+// engine's; everything lands in one /metrics snapshot. Callers must
+// follow the obsreg contract: literal snake_case names, one
+// registration site each.
+func (d *DB) ObsRegistry() *obs.Registry { return d.reg }
+
 // MetricsSnapshot captures every metric — engine counters and
 // latency histograms plus the pull gauges over the device stack — at
 // one point in time. It is the same data the /metrics endpoint

@@ -1,0 +1,319 @@
+// Package sealclient is the Go client for a SEALDB network server
+// (internal/server): a connection pool where every connection
+// pipelines requests — many may be outstanding at once, responses are
+// matched to waiters by request ID in whatever order the server sends
+// them — with per-request timeouts and bounded retries of idempotent
+// reads over redialed connections.
+//
+// The client speaks only internal/wire; it has no dependency on the
+// engine, so it is exactly what an external consumer of the protocol
+// would build.
+package sealclient
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sealdb/internal/wire"
+)
+
+// Client errors. Status-mapped errors wrap these sentinels, so
+// errors.Is works across the network boundary.
+var (
+	// ErrNotFound reports a GET for a key that does not exist.
+	ErrNotFound = errors.New("sealclient: key not found")
+	// ErrDegraded reports a write rejected because the remote store is
+	// in read-only degraded mode after a permanent device failure;
+	// retrying against the same server cannot succeed.
+	ErrDegraded = errors.New("sealclient: store is in read-only degraded mode")
+	// ErrStoreClosed reports an operation against a closed remote DB.
+	ErrStoreClosed = errors.New("sealclient: remote store is closed")
+	// ErrUnavailable reports a refused connection or request (server
+	// full or shutting down).
+	ErrUnavailable = errors.New("sealclient: server unavailable")
+	// ErrTimeout reports a request that exceeded its per-request
+	// timeout; its fate at the server is unknown.
+	ErrTimeout = errors.New("sealclient: request timed out")
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("sealclient: client is closed")
+	// ErrConn wraps transport-level failures (dial, read, write, reset).
+	ErrConn = errors.New("sealclient: connection error")
+)
+
+// Options tunes a client. The zero value dials with the defaults.
+type Options struct {
+	// Conns is the connection pool size. 0 means 1.
+	Conns int
+	// Timeout is the per-request timeout. 0 means 10s.
+	Timeout time.Duration
+	// DialTimeout bounds connection establishment (including the
+	// handshake). 0 means 5s.
+	DialTimeout time.Duration
+	// ReadRetries is how many extra attempts an idempotent read (GET,
+	// SCAN, STATS) gets after a connection-level failure, each on a
+	// freshly dialed connection. Writes are never retried: a timed-out
+	// or broken write may still have committed. 0 means 2; negative
+	// disables retries.
+	ReadRetries int
+	// MaxFrame bounds accepted response frames. 0 means
+	// wire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+func (o *Options) conns() int {
+	if o.Conns > 0 {
+		return o.Conns
+	}
+	return 1
+}
+
+func (o *Options) timeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return 10 * time.Second
+}
+
+func (o *Options) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (o *Options) readRetries() int {
+	if o.ReadRetries < 0 {
+		return 0
+	}
+	if o.ReadRetries == 0 {
+		return 2
+	}
+	return o.ReadRetries
+}
+
+func (o *Options) maxFrame() int {
+	if o.MaxFrame > 0 {
+		return o.MaxFrame
+	}
+	return wire.DefaultMaxFrame
+}
+
+// Client is a pooled, pipelining SEALDB client. Safe for concurrent
+// use; concurrent requests on the same pooled connection pipeline.
+type Client struct {
+	addr string
+	o    Options
+
+	rr     atomic.Uint64 // round-robin cursor
+	slots  []*connSlot
+	closed atomic.Bool
+
+	// Features is the feature mask negotiated on the first dialed
+	// connection.
+	features atomic.Uint32
+}
+
+// Dial connects to a server, establishing (and handshaking) the first
+// pooled connection eagerly so configuration errors surface here; the
+// rest of the pool dials lazily.
+func Dial(addr string, o Options) (*Client, error) {
+	c := &Client{addr: addr, o: o, slots: make([]*connSlot, o.conns())}
+	for i := range c.slots {
+		c.slots[i] = &connSlot{}
+	}
+	cc, err := c.slots[0].get(c)
+	if err != nil {
+		return nil, err
+	}
+	c.features.Store(cc.features)
+	return c, nil
+}
+
+// Features returns the feature mask negotiated with the server.
+func (c *Client) Features() uint32 { return c.features.Load() }
+
+// Close tears down every pooled connection. In-flight requests fail
+// with ErrConn.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, s := range c.slots {
+		s.close()
+	}
+	return nil
+}
+
+// pick returns a live pooled connection, dialing its slot if needed.
+func (c *Client) pick() (*clientConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := c.rr.Add(1)
+	return c.slots[int(n)%len(c.slots)].get(c)
+}
+
+// roundTrip sends one request on one connection and waits for its
+// reply.
+func (c *Client) roundTrip(op wire.Op, payload []byte) (wire.Status, []byte, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return 0, nil, err
+	}
+	return cc.do(op, payload, c.o.timeout())
+}
+
+// readRoundTrip is roundTrip plus the bounded idempotent-read retry
+// loop: connection-level failures redial and retry; status errors and
+// timeouts do not.
+func (c *Client) readRoundTrip(op wire.Op, payload []byte) (wire.Status, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.o.readRetries(); attempt++ {
+		st, body, err := c.roundTrip(op, payload)
+		if err == nil {
+			return st, body, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrConn) {
+			break
+		}
+	}
+	return 0, nil, lastErr
+}
+
+// statusErr maps a non-OK reply to a wrapped sentinel error.
+func statusErr(st wire.Status, body []byte) error {
+	msg := string(body)
+	switch st {
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusDegraded:
+		return fmt.Errorf("%w: %s", ErrDegraded, msg)
+	case wire.StatusClosed:
+		return fmt.Errorf("%w: %s", ErrStoreClosed, msg)
+	case wire.StatusUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, msg)
+	default:
+		return fmt.Errorf("sealclient: %s: %s", st, msg)
+	}
+}
+
+// Get returns the value of key. Idempotent: retried on connection
+// failures up to the configured bound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	st, body, err := c.readRoundTrip(wire.OpGet, wire.AppendGet(nil, key))
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, statusErr(st, body)
+	}
+	return body, nil
+}
+
+// Put writes a key/value pair. Not retried.
+func (c *Client) Put(key, value []byte) error {
+	st, body, err := c.roundTrip(wire.OpPut, wire.AppendPut(nil, key, value))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return statusErr(st, body)
+	}
+	return nil
+}
+
+// Delete writes a tombstone for key. Not retried.
+func (c *Client) Delete(key []byte) error {
+	st, body, err := c.roundTrip(wire.OpDelete, wire.AppendDelete(nil, key))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return statusErr(st, body)
+	}
+	return nil
+}
+
+// Batch collects mutations for one atomic WRITEBATCH request.
+type Batch struct {
+	entries []wire.BatchEntry
+}
+
+// Put queues a key/value write. The slices are retained until Apply.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, wire.BatchEntry{Key: key, Value: value})
+}
+
+// Delete queues a tombstone.
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, wire.BatchEntry{Delete: true, Key: key})
+}
+
+// Len returns the number of queued mutations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.entries = b.entries[:0] }
+
+// Apply sends the batch as one atomic write. Not retried.
+func (c *Client) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	st, body, err := c.roundTrip(wire.OpWriteBatch, wire.AppendWriteBatch(nil, b.entries))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return statusErr(st, body)
+	}
+	return nil
+}
+
+// KV is one scan result entry.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live entries with keys >= start.
+// Idempotent: retried on connection failures.
+func (c *Client) Scan(start []byte, limit int) ([]KV, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	st, body, err := c.readRoundTrip(wire.OpScan, wire.AppendScan(nil, start, uint32(limit)))
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, statusErr(st, body)
+	}
+	wkvs, err := wire.DecodeScanReply(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConn, err)
+	}
+	out := make([]KV, len(wkvs))
+	for i, e := range wkvs {
+		out[i] = KV{Key: e.Key, Value: e.Value}
+	}
+	return out, nil
+}
+
+// Stats fetches the server's STATS payload (engine stats, mode,
+// degraded state, serving-layer counters) as raw JSON. Idempotent:
+// retried on connection failures.
+func (c *Client) Stats() (json.RawMessage, error) {
+	st, body, err := c.readRoundTrip(wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, statusErr(st, body)
+	}
+	return json.RawMessage(body), nil
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/wire"
+)
+
+// TestBatchPoolSteadyStateAllocations asserts the group-commit batch
+// cycle — get from the pool, fill, reset, put back — allocates nothing
+// once warm: the whole point of Batch.Reset keeping capacity.
+func TestBatchPoolSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate; allocation accounting is meaningless here")
+	}
+	entries := make([]wire.BatchEntry, 16)
+	val := make([]byte, 512)
+	for i := range entries {
+		entries[i] = wire.BatchEntry{Key: []byte(fmt.Sprintf("key%06d", i)), Value: val}
+	}
+	req := &commitReq{entries: entries}
+	cycle := func() {
+		b := getBatch()
+		addToBatch(b, req)
+		putBatch(b)
+	}
+	// Warm the pool so the batch's backing buffer reaches steady-state
+	// capacity before measuring.
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	// AllocsPerRun runs with GC percent -1, so the pool cannot be
+	// drained by a collection mid-measurement.
+	if n := testing.AllocsPerRun(100, cycle); n > 0 {
+		t.Fatalf("steady-state batch cycle allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestBatchPoolDropsBalloonedBatches asserts the pool does not pin
+// oversized buffers: a batch grown past maxPooledBatchBytes must not
+// come back out of the pool.
+func TestBatchPoolDropsBalloonedBatches(t *testing.T) {
+	b := lsm.NewBatch()
+	big := make([]byte, maxPooledBatchBytes+1)
+	b.Put([]byte("k"), big)
+	if b.Cap() <= maxPooledBatchBytes {
+		t.Fatalf("test batch capacity %d did not exceed the pool bound", b.Cap())
+	}
+	putBatch(b)
+	// Whatever comes out must be within the bound (a pooled small batch
+	// or a fresh one) — never the ballooned buffer.
+	got := getBatch()
+	if got == b {
+		t.Fatalf("ballooned batch (cap %d) was pooled", got.Cap())
+	}
+	putBatch(got)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/wire"
+)
+
+// commitReq is one write request queued for group commit.
+type commitReq struct {
+	entries []wire.BatchEntry
+	// start anchors the request's write-latency observation at its
+	// enqueue time, so the metric includes queueing and coalescing.
+	start time.Time
+	// done is invoked exactly once with the group's commit outcome;
+	// it must not block (it enqueues the ack and releases the
+	// connection's pipeline slot).
+	done func(error)
+}
+
+// batchPool recycles lsm.Batch values across group commits, relying
+// on Batch.Reset keeping the backing buffer's capacity. Batches that
+// ballooned past maxPooledBatchBytes are dropped rather than pinned.
+var batchPool = sync.Pool{New: func() any { return lsm.NewBatch() }}
+
+// maxPooledBatchBytes bounds the capacity a pooled batch may retain.
+const maxPooledBatchBytes = 4 << 20
+
+// getBatch takes an empty batch from the pool.
+func getBatch() *lsm.Batch { return batchPool.Get().(*lsm.Batch) }
+
+// putBatch resets and returns a batch to the pool.
+func putBatch(b *lsm.Batch) {
+	if b.Cap() > maxPooledBatchBytes {
+		return
+	}
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// committer is the single group-commit goroutine: it takes the first
+// queued write request, greedily absorbs whatever else is already
+// queued — across all connections — into one shared batch, applies
+// the batch once, and acknowledges every absorbed request with the
+// group's outcome. Coalescing is bounded by CoalesceMaxRequests and
+// CoalesceMaxBytes so one group cannot grow without limit under a
+// firehose.
+func (s *Server) committer() {
+	defer s.commitWG.Done()
+	for {
+		select {
+		case req := <-s.commitCh:
+			s.commitGroup(req)
+		case <-s.commitStop:
+			// Late requests raced shutdown; commit what is queued so
+			// their connections still get real answers.
+			for {
+				select {
+				case req := <-s.commitCh:
+					s.commitGroup(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commitGroup coalesces and applies one group commit.
+func (s *Server) commitGroup(first *commitReq) {
+	maxReqs := s.cfg.coalesceMaxRequests()
+	maxBytes := s.cfg.coalesceMaxBytes()
+
+	b := getBatch()
+	reqs := make([]*commitReq, 0, 8)
+	reqs = append(reqs, first)
+	addToBatch(b, first)
+	for len(reqs) < maxReqs && b.Size() < maxBytes {
+		select {
+		case req := <-s.commitCh:
+			reqs = append(reqs, req)
+			addToBatch(b, req)
+		default:
+			goto commit
+		}
+	}
+commit:
+	err := s.db.Apply(b)
+
+	s.m.coalescedCommits.Inc()
+	s.m.coalescedReqs.Observe(int64(len(reqs)))
+	s.m.coalescedEntries.Observe(int64(b.Len()))
+	if err != nil {
+		s.m.commitErrors.Inc()
+	}
+	now := time.Now()
+	for _, req := range reqs {
+		s.m.writeLatency.Observe(now.Sub(req.start).Nanoseconds())
+		req.done(err)
+	}
+	putBatch(b)
+}
+
+// addToBatch appends a request's mutations to the shared batch.
+func addToBatch(b *lsm.Batch, req *commitReq) {
+	for _, e := range req.entries {
+		if e.Delete {
+			b.Delete(e.Key)
+		} else {
+			b.Put(e.Key, e.Value)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; sync.Pool and allocation accounting behave differently there.
+const raceEnabled = false

@@ -1,0 +1,334 @@
+// Package server is SEALDB's network front end: a TCP server speaking
+// the internal/wire protocol over an open *lsm.DB.
+//
+// Architecture (see DESIGN.md, "Serving layer"):
+//
+//   - Each accepted connection gets a read/write goroutine pair. The
+//     reader decodes pipelined request frames; the writer serializes
+//     response frames from a channel, so responses may leave in any
+//     order — a read never waits behind an earlier write's commit.
+//   - Reads (GET/SCAN/STATS) execute inline on the reader goroutine.
+//     Writes (PUT/DELETE/WRITEBATCH) are handed to a single committer
+//     goroutine that coalesces requests from every connection into one
+//     shared lsm.Batch and applies it as a group commit; each request
+//     is acknowledged individually once its group lands.
+//   - Backpressure is structural: a per-connection inflight semaphore
+//     stops the reader (and therefore TCP flow control stops the
+//     client) when too many requests are unanswered, and a connection
+//     limit bounds the goroutine population. Slow clients are bounded
+//     by a write deadline on every response flush.
+//   - Close drains gracefully: the listener stops, readers are kicked
+//     out of their blocking reads, inflight requests finish and their
+//     acks flush, then connections close.
+//
+// The package uses real wall-clock time (deadlines, latency series):
+// it sits above the simulated device stack, outside the noclock
+// determinism boundary.
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/wire"
+)
+
+// Config tunes the server. The zero value serves with the defaults.
+type Config struct {
+	// MaxConns bounds concurrently served connections; further
+	// accepts are answered with StatusUnavailable and closed.
+	// 0 means 256.
+	MaxConns int
+	// MaxInflight bounds unanswered requests per connection; the
+	// reader stops consuming frames when the bound is hit. 0 means 128.
+	MaxInflight int
+	// WriteTimeout is the slow-client deadline for flushing responses;
+	// a connection that cannot absorb its responses in time is closed.
+	// 0 means 10s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown; connections still open
+	// after it are force-closed. 0 means 5s.
+	DrainTimeout time.Duration
+	// MaxFrame bounds accepted request frames. 0 means
+	// wire.DefaultMaxFrame.
+	MaxFrame int
+	// CoalesceMaxRequests bounds how many write requests one group
+	// commit absorbs. 0 means 64.
+	CoalesceMaxRequests int
+	// CoalesceMaxBytes bounds a group commit's encoded batch size.
+	// 0 means 1 MiB.
+	CoalesceMaxBytes int64
+	// HandshakeTimeout bounds the wait for the client hello. 0 means 5s.
+	HandshakeTimeout time.Duration
+}
+
+func (c *Config) maxConns() int {
+	if c.MaxConns > 0 {
+		return c.MaxConns
+	}
+	return 256
+}
+
+func (c *Config) maxInflight() int {
+	if c.MaxInflight > 0 {
+		return c.MaxInflight
+	}
+	return 128
+}
+
+func (c *Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c *Config) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Config) maxFrame() int {
+	if c.MaxFrame > 0 {
+		return c.MaxFrame
+	}
+	return wire.DefaultMaxFrame
+}
+
+func (c *Config) coalesceMaxRequests() int {
+	if c.CoalesceMaxRequests > 0 {
+		return c.CoalesceMaxRequests
+	}
+	return 64
+}
+
+func (c *Config) coalesceMaxBytes() int64 {
+	if c.CoalesceMaxBytes > 0 {
+		return c.CoalesceMaxBytes
+	}
+	return 1 << 20
+}
+
+func (c *Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return 5 * time.Second
+}
+
+// Server is a running network front end over one DB.
+type Server struct {
+	db  *lsm.DB
+	cfg Config
+	ln  net.Listener
+	m   *metrics
+
+	commitCh   chan *commitReq
+	commitStop chan struct{}
+	commitWG   sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{} // guarded by mu
+	nextID uint64             // guarded by mu
+	closed bool               // guarded by mu
+
+	connWG sync.WaitGroup // accept loop + connection goroutines
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves db
+// on background goroutines until Close.
+func Serve(db *lsm.DB, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		db:         db,
+		cfg:        cfg,
+		ln:         ln,
+		commitCh:   make(chan *commitReq, 4*cfg.coalesceMaxRequests()),
+		commitStop: make(chan struct{}),
+		conns:      map[*conn]struct{}{},
+	}
+	s.m = newMetrics(db.ObsRegistry(), s)
+	s.commitWG.Add(1)
+	go s.committer()
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// acceptLoop admits connections up to the configured bound.
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		if len(s.conns) >= s.cfg.maxConns() {
+			s.mu.Unlock()
+			s.m.connsRejected.Inc()
+			// Reject politely: the refusal is a frame, not a RST, so the
+			// client can report "server full" instead of a bare EOF.
+			s.rejectConn(nc)
+			continue
+		}
+		s.nextID++
+		c := newConn(s, s.nextID, nc)
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.m.connsAccepted.Inc()
+		s.connWG.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// rejectConn answers an over-limit connection with UNAVAILABLE and
+// closes it.
+func (s *Server) rejectConn(nc net.Conn) {
+	f := wire.Reply(0, wire.StatusUnavailable, []byte("server: connection limit reached"))
+	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout())); err == nil {
+		if err := wire.WriteFrame(nc, &f); err != nil {
+			s.m.connErrors.Inc()
+		}
+	}
+	nc.Close()
+}
+
+// removeConn forgets a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// openConns snapshots the live connection set.
+func (s *Server) openConns() []*conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close shuts the server down gracefully: stop accepting, kick every
+// reader out of its blocking read, let inflight requests finish and
+// their responses flush, then close the connections. Connections that
+// have not drained within DrainTimeout are force-closed. Safe to call
+// more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range s.openConns() {
+		c.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.drainTimeout()):
+		for _, c := range s.openConns() {
+			c.forceClose()
+		}
+		<-done
+	}
+	close(s.commitStop)
+	s.commitWG.Wait()
+	return err
+}
+
+// errStatus maps an engine error to its wire status.
+func errStatus(err error) (wire.Status, string) {
+	switch {
+	case err == nil:
+		return wire.StatusOK, ""
+	case errors.Is(err, lsm.ErrNotFound):
+		return wire.StatusNotFound, err.Error()
+	case errors.Is(err, lsm.ErrDegraded):
+		return wire.StatusDegraded, err.Error()
+	case errors.Is(err, lsm.ErrClosed):
+		return wire.StatusClosed, err.Error()
+	default:
+		return wire.StatusInternal, err.Error()
+	}
+}
+
+// errReply builds the response frame for a failed request.
+func errReply(reqID uint64, err error) wire.Frame {
+	st, msg := errStatus(err)
+	if st == wire.StatusOK {
+		st, msg = wire.StatusInternal, "unknown error"
+	}
+	return wire.Reply(reqID, st, []byte(msg))
+}
+
+// statsPayload is the STATS reply body (JSON). Degraded-mode state
+// rides along so a remote client can see why its writes are rejected.
+type statsPayload struct {
+	Stats         lsm.Stats   `json:"stats"`
+	Mode          string      `json:"mode"`
+	Seq           uint64      `json:"seq"`
+	Degraded      bool        `json:"degraded"`
+	DegradedCause string      `json:"degraded_cause,omitempty"`
+	Server        serverStats `json:"server"`
+}
+
+// serverStats summarizes the front end inside the STATS payload.
+type serverStats struct {
+	OpenConns     int   `json:"open_conns"`
+	AcceptedConns int64 `json:"accepted_conns"`
+	Requests      int64 `json:"requests"`
+	// CoalescedGroups is how many group commits ran; CoalescedWrites is
+	// how many write requests they absorbed in total, so writes/groups
+	// is the average batching factor.
+	CoalescedGroups int64 `json:"coalesced_groups"`
+	CoalescedWrites int64 `json:"coalesced_writes"`
+}
+
+func (s *Server) stats() statsPayload {
+	p := statsPayload{
+		Stats: s.db.Stats(),
+		Mode:  s.db.Mode().String(),
+		Seq:   uint64(s.db.Seq()),
+		Server: serverStats{
+			OpenConns:       len(s.openConns()),
+			AcceptedConns:   s.m.connsAccepted.Value(),
+			Requests:        s.m.requests.Value(),
+			CoalescedGroups: s.m.coalescedCommits.Value(),
+			CoalescedWrites: s.m.coalescedReqs.Snapshot().Sum,
+		},
+	}
+	if err := s.db.Degraded(); err != nil {
+		p.Degraded = true
+		p.DegradedCause = err.Error()
+	}
+	return p
+}

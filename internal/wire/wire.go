@@ -1,0 +1,233 @@
+// Package wire defines SEALDB's binary network protocol: a
+// length-prefixed frame format carrying request-scoped opcodes and
+// 64-bit request IDs, so a connection can pipeline many requests and
+// receive the responses out of order.
+//
+// Frame layout (all integers little-endian):
+//
+//	uint32  length   (bytes after this field: opcode + id + payload)
+//	uint8   opcode
+//	uint64  request id (echoed verbatim in the response frame)
+//	[]byte  payload  (opcode-specific, see payload.go)
+//
+// A connection starts with a handshake: the client's first frame must
+// be OpHello carrying the protocol magic, its version, and a feature
+// bitmask; the server answers with an OpReply Hello payload holding
+// its version and the feature intersection. Everything after the
+// handshake is free-form pipelined request/response traffic.
+//
+// The package is pure encoding — no sockets, no engine imports — so
+// the server, the client, and the fuzzer all share one definition of
+// what bytes mean.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol identity.
+const (
+	// Magic is the handshake magic number ("SEAL" big-endian).
+	Magic uint32 = 0x5345414C
+	// Version is the protocol version this build speaks.
+	Version uint16 = 1
+)
+
+// Feature bits advertised in the handshake. The server replies with
+// the intersection of the client's mask and its own.
+const (
+	// FeaturePipeline: the peer accepts out-of-order responses.
+	FeaturePipeline uint32 = 1 << 0
+	// FeatureCoalesce: the server may group-commit writes from many
+	// connections into one engine batch (acks are unaffected).
+	FeatureCoalesce uint32 = 1 << 1
+)
+
+// Op is a frame opcode.
+type Op uint8
+
+// Request opcodes, plus the single response opcode OpReply.
+const (
+	OpHello      Op = 1
+	OpGet        Op = 2
+	OpPut        Op = 3
+	OpDelete     Op = 4
+	OpWriteBatch Op = 5
+	OpScan       Op = 6
+	OpStats      Op = 7
+
+	// OpReply marks a response frame; the payload begins with a
+	// Status byte followed by the op-specific body.
+	OpReply Op = 0x80
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "HELLO"
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpWriteBatch:
+		return "WRITEBATCH"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	case OpReply:
+		return "REPLY"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is the first byte of every reply payload.
+type Status uint8
+
+// Reply status codes. StatusDegraded is distinct from StatusInternal
+// so clients can tell "this store is read-only after a permanent
+// device failure" (retrying elsewhere may help, retrying here will
+// not) from a transient server-side error.
+const (
+	StatusOK          Status = 0
+	StatusNotFound    Status = 1
+	StatusDegraded    Status = 2
+	StatusClosed      Status = 3
+	StatusBadRequest  Status = 4
+	StatusInternal    Status = 5
+	StatusTooLarge    Status = 6
+	StatusUnavailable Status = 7
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusDegraded:
+		return "DEGRADED"
+	case StatusClosed:
+		return "CLOSED"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusInternal:
+		return "INTERNAL"
+	case StatusTooLarge:
+		return "TOO_LARGE"
+	case StatusUnavailable:
+		return "UNAVAILABLE"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Frame limits.
+const (
+	// headerLen is opcode + request id, the fixed bytes covered by the
+	// length prefix alongside the payload.
+	headerLen = 1 + 8
+	// DefaultMaxFrame bounds a frame's length field unless the caller
+	// chooses otherwise; it caps memory a peer can demand per frame.
+	DefaultMaxFrame = 16 << 20
+)
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge reports a length prefix above the reader's
+	// configured bound.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrBadFrame reports a structurally invalid frame or payload.
+	ErrBadFrame = errors.New("wire: malformed frame")
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	Op    Op
+	ReqID uint64
+	// Payload is the opcode-specific body. Decoded payloads alias the
+	// frame's buffer; copy before retaining past the next read.
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame to dst and returns the
+// extended slice. It never fails: payload size policy is enforced by
+// the reader on the other end.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	dst = append(dst, byte(f.Op))
+	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := AppendFrame(make([]byte, 0, 4+headerLen+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r, rejecting frames whose declared
+// length exceeds max (0 means DefaultMaxFrame). The returned payload
+// is freshly allocated and safe to retain.
+func ReadFrame(r io.Reader, max int) (Frame, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("%w: length %d below header size", ErrBadFrame, n)
+	}
+	if int64(n) > int64(max) {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		// A frame torn mid-body is a protocol error, not a clean EOF.
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		Op:      Op(body[0]),
+		ReqID:   binary.LittleEndian.Uint64(body[1:9]),
+		Payload: body[headerLen:],
+	}, nil
+}
+
+// Hello is the handshake payload, sent by the client as OpHello and
+// echoed (with the server's version and the negotiated features) in
+// the reply body.
+type Hello struct {
+	Magic    uint32
+	Version  uint16
+	Features uint32
+}
+
+// AppendHello appends the encoded handshake payload to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, h.Magic)
+	dst = binary.LittleEndian.AppendUint16(dst, h.Version)
+	return binary.LittleEndian.AppendUint32(dst, h.Features)
+}
+
+// DecodeHello parses a handshake payload.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) != 10 {
+		return Hello{}, fmt.Errorf("%w: hello payload %d bytes, want 10", ErrBadFrame, len(p))
+	}
+	return Hello{
+		Magic:    binary.LittleEndian.Uint32(p[0:4]),
+		Version:  binary.LittleEndian.Uint16(p[4:6]),
+		Features: binary.LittleEndian.Uint32(p[6:10]),
+	}, nil
+}

@@ -100,6 +100,11 @@ func (r *Runner) value() []byte {
 // RecordCount returns how many records have been inserted.
 func (r *Runner) RecordCount() int64 { return r.recordCount }
 
+// SetRecordCount seats the runner's record count without loading, for
+// runners that share a store another runner already populated (e.g.
+// parallel client goroutines in the networked benchmark).
+func (r *Runner) SetRecordCount(n int64) { r.recordCount = n }
+
 // Load inserts n records in key order (the YCSB load phase inserts
 // hashed keys; order does not matter for the store under test, so the
 // simple ascending order keeps loads reproducible).

@@ -121,10 +121,14 @@ type MetricsSnapshot = obs.Snapshot
 // timestamps in simulated device nanoseconds; see DB.Events.
 type Event = obs.Event
 
-// Errors returned by DB operations.
+// Errors returned by DB operations. ErrDegraded wraps every write
+// rejected after a permanent device failure moved the store into
+// read-only degraded mode; the network layer maps it to a distinct
+// wire status so remote clients can tell it from transient failures.
 var (
 	ErrNotFound = lsm.ErrNotFound
 	ErrClosed   = lsm.ErrClosed
+	ErrDegraded = lsm.ErrDegraded
 )
 
 // Open creates a fresh database on a new emulated device.
