@@ -44,6 +44,8 @@ func main() {
 		latency = flag.Bool("latency", false, "also run the per-operation latency profile")
 		serve   = flag.String("serve", "", "serve /metrics and /debug for the store currently under test on this address (e.g. :8080)")
 
+		ycsbjson = flag.String("ycsbjson", "", "run the load phase and YCSB A-F on every store and write machine-readable results (ops/s, p50/p99, WA/AWA per workload) to this JSON file")
+
 		ycsbnet  = flag.String("ycsbnet", "", "run this YCSB workload (A-F) both in-process and through a sealdb server over TCP, comparing throughput")
 		netrecs  = flag.Int64("netrecords", 20000, "records to load for -ycsbnet")
 		netconns = flag.Int("netclients", 4, "client goroutines (and pooled connections) for -ycsbnet")
@@ -103,6 +105,25 @@ func main() {
 			want[f] = true
 		}
 	}
+	if *ycsbjson != "" {
+		rep, err := bench.RunYCSBReport(o)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*ycsbjson)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteYCSBJSON(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s (%d stores x %d phases)\n", *ycsbjson, len(rep.Stores), len(rep.Stores[0].Phases))
+		return
+	}
+
 	runTable2 := *all || *table == 2
 	if len(want) == 0 && !runTable2 && !*gc && !*latency {
 		flag.Usage()

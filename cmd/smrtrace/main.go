@@ -9,6 +9,17 @@
 //	smrtrace -mode sealdb  -mb 32 > fig11.csv   # Figure 11
 //	smrtrace -mode sealdb  -mb 32 -bands > fig13.csv
 //	smrtrace -mode sealdb  -mb 32 -format json > fig11.jsonl
+//
+// It is also the front end of the request-tracing analyzer:
+//
+//	smrtrace -mode sealdb -mb 8 -dump DIR   # traced run, write raw dump
+//	smrtrace -analyze DIR                   # offline: heatmaps + WA/AWA report
+//
+// A dump directory holds meta.json (geometry and live counters),
+// trace.jsonl (every physical access) and events.jsonl (the event
+// journal, sampled span trees included); -analyze recomputes the
+// amplification from the raw records and fails loudly if it disagrees
+// with the live counters by more than 1%.
 package main
 
 import (
@@ -19,6 +30,8 @@ import (
 	"sealdb/internal/bench"
 	"sealdb/internal/lsm"
 	"sealdb/internal/obs"
+	"sealdb/internal/traceanalyze"
+	"sealdb/internal/ycsb"
 )
 
 func main() {
@@ -29,8 +42,17 @@ func main() {
 		bands  = flag.Bool("bands", false, "dump the dynamic band census (Fig 13) instead of the write trace")
 		format = flag.String("format", "csv", "output format: csv or json (JSON lines)")
 		seed   = flag.Int64("seed", 1, "workload seed")
+
+		analyze = flag.String("analyze", "", "offline mode: analyze an existing dump directory and exit")
+		dump    = flag.String("dump", "", "run a traced YCSB workload and write a raw dump (meta.json, trace.jsonl, events.jsonl) to this directory")
+		ops     = flag.Int("ops", 2000, "workload operations for -dump")
 	)
 	flag.Parse()
+
+	if *analyze != "" {
+		runAnalyze(*analyze)
+		return
+	}
 	if *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "smrtrace: unknown format %q (want csv or json)\n", *format)
 		os.Exit(2)
@@ -58,6 +80,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "smrtrace: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+
+	if *dump != "" {
+		runDump(*dump, m, o, *ops)
+		return
 	}
 
 	if *bands {
@@ -105,4 +132,66 @@ func main() {
 		return
 	}
 	bench.WriteLayoutCSV(os.Stdout, r)
+}
+
+// traceStore adapts *lsm.DB to ycsb.Store for the -dump workload.
+type traceStore struct{ db *lsm.DB }
+
+func (s traceStore) Put(k, v []byte) error        { return s.db.Put(k, v) }
+func (s traceStore) Get(k []byte) ([]byte, error) { return s.db.Get(k) }
+func (s traceStore) ScanN(start []byte, n int) (int, error) {
+	kvs, err := s.db.Scan(start, n)
+	return len(kvs), err
+}
+
+// runDump executes a traced load + YCSB-A window and writes the raw
+// dump, then prints the analysis of what it just captured.
+func runDump(dir string, m lsm.Mode, o bench.Options, ops int) {
+	cfg := lsm.Config{Mode: m, Geometry: o.Geometry, Seed: o.Seed}
+	cfg.JournalCapacity = 1 << 16
+	cfg.Trace = lsm.TraceConfig{Enabled: true, SampleEvery: 8}
+	db, err := lsm.Open(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer db.Close()
+
+	base := traceanalyze.Begin(db)
+	runner := ycsb.NewRunner(traceStore{db}, o.ValueSize, o.Seed)
+	if err := runner.LoadRandom(o.Records()); err != nil {
+		fatalf("load: %v", err)
+	}
+	if _, err := runner.Run(ycsb.WorkloadA, ops); err != nil {
+		fatalf("workload: %v", err)
+	}
+	d := traceanalyze.Collect(db, base)
+	if err := d.Write(dir); err != nil {
+		fatalf("write dump: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "smrtrace: wrote %s (%d trace entries, %d events)\n",
+		dir, len(d.Trace), len(d.Events))
+	report(d)
+}
+
+// runAnalyze is the offline path: load a dump from disk and report.
+func runAnalyze(dir string) {
+	d, err := traceanalyze.ReadDump(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report(d)
+}
+
+func report(d *traceanalyze.Dump) {
+	rep := traceanalyze.Analyze(d)
+	rep.WriteText(os.Stdout)
+	if err := rep.Verify(0.01); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println("verify: live amplification matches recomputation within 1%")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smrtrace: "+format+"\n", args...)
+	os.Exit(1)
 }

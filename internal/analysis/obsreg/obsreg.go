@@ -14,6 +14,7 @@ import (
 	"go/types"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"sealdb/internal/analysis"
 )
@@ -23,7 +24,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "obsreg",
 	Doc: "metric name literals passed to the obs registry must be unique across " +
-		"the repo, registered at one call site, and match ^[a-z][a-z0-9_]*$",
+		"the repo, registered at one call site, and match ^[a-z][a-z0-9_]*$; " +
+		"counter names must additionally end in _total",
 	NewSession: func() any { return &session{seen: map[string]token.Position{}} },
 	Run:        run,
 }
@@ -70,6 +72,14 @@ func run(pass *analysis.Pass) error {
 			}
 			if !nameRe.MatchString(name) {
 				pass.Reportf(lit.Pos(), "metric name %q does not match ^[a-z][a-z0-9_]*$", name)
+				return true
+			}
+			// Monotonic series carry the prometheus counter suffix, so
+			// dashboards can tell counters from gauges by name alone —
+			// the trace/amplification series rely on this to pair each
+			// *_total counter with its recomputation.
+			if sel.Sel.Name == "Counter" && !strings.HasSuffix(name, "_total") {
+				pass.Reportf(lit.Pos(), "counter name %q must end in _total", name)
 				return true
 			}
 			if first, dup := sess.seen[name]; dup {

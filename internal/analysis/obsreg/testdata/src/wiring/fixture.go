@@ -42,6 +42,14 @@ func badNames(r *Registry) {
 	_ = r.Gauge("9starts_with_digit") // want `metric name "9starts_with_digit" does not match`
 }
 
+// Bad: counters without the prometheus _total suffix; gauges and
+// histograms carry no suffix requirement.
+func badCounterSuffix(r *Registry) {
+	_ = r.Counter("sealdb_trace_ops") // want `counter name "sealdb_trace_ops" must end in _total`
+	_ = r.Gauge("sealdb_trace_ops")
+	_ = r.Histogram("sealdb_stage_wal_append_ns")
+}
+
 // Good: computed names (the per-level gauge pattern) are exempt —
 // their uniqueness comes from the loop variable.
 func computed(r *Registry) {

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/ycsb"
+)
+
+// YCSBPhase is one phase (load or one core workload) of a store's
+// machine-readable YCSB result. Latencies are per store call in
+// simulated device microseconds; WA/AWA are the cumulative modeled
+// amplification at the end of the phase.
+type YCSBPhase struct {
+	Workload  string  `json:"workload"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	WA        float64 `json:"wa"`
+	AWA       float64 `json:"awa"`
+}
+
+// YCSBStoreReport is one store's phases, load first then A–F.
+type YCSBStoreReport struct {
+	Store  string      `json:"store"`
+	Phases []YCSBPhase `json:"phases"`
+}
+
+// YCSBReport is the BENCH_ycsb.json payload: the experiment scale and
+// every store's per-workload results, so the perf trajectory can be
+// diffed across commits.
+type YCSBReport struct {
+	SSTableSize    int64             `json:"sstable_size"`
+	BandSize       int64             `json:"band_size"`
+	LoadMB         int64             `json:"load_mb"`
+	ValueSize      int               `json:"value_size"`
+	OpsPerWorkload int               `json:"ops_per_workload"`
+	Seed           int64             `json:"seed"`
+	Stores         []YCSBStoreReport `json:"stores"`
+}
+
+// timedStore wraps a store, measuring each call's simulated device
+// time into the current phase's histogram.
+type timedStore struct {
+	inner storeAdapter
+	clock func() time.Duration
+	h     *Histogram
+}
+
+func (s *timedStore) timed(fn func() error) error {
+	start := s.clock()
+	err := fn()
+	s.h.Add(s.clock() - start)
+	return err
+}
+
+func (s *timedStore) Put(k, v []byte) error {
+	return s.timed(func() error { return s.inner.Put(k, v) })
+}
+
+func (s *timedStore) Get(k []byte) (v []byte, err error) {
+	err = s.timed(func() error { v, err = s.inner.Get(k); return err })
+	return v, err
+}
+
+func (s *timedStore) ScanN(start []byte, n int) (seen int, err error) {
+	err = s.timed(func() error { seen, err = s.inner.ScanN(start, n); return err })
+	return seen, err
+}
+
+// RunYCSBReport runs the load phase and YCSB A–F against each store,
+// producing the machine-readable report: throughput from simulated
+// device time, per-call p50/p99 from device-time deltas, and the
+// cumulative modeled WA/AWA after each phase.
+func RunYCSBReport(o Options) (*YCSBReport, error) {
+	rep := &YCSBReport{
+		SSTableSize:    o.Geometry.SSTableSize,
+		BandSize:       o.Geometry.BandSize,
+		LoadMB:         o.LoadMB,
+		ValueSize:      o.ValueSize,
+		OpsPerWorkload: o.YCSBOps,
+		Seed:           o.Seed,
+	}
+	for _, mode := range []lsm.Mode{lsm.ModeLevelDB, lsm.ModeSMRDB, lsm.ModeSEALDB} {
+		db, err := o.openStore(mode)
+		if err != nil {
+			return nil, err
+		}
+		ts := &timedStore{
+			inner: storeAdapter{db},
+			clock: func() time.Duration { return simTime(db) },
+		}
+		runner := ycsb.NewRunner(ts, o.ValueSize, o.Seed)
+		sr := YCSBStoreReport{Store: mode.String()}
+
+		records := o.Records()
+		ts.h = &Histogram{}
+		d, err := phase(db, func() error { return runner.LoadRandom(records) })
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		sr.Phases = append(sr.Phases, phaseResult(db, "load", records, d, ts.h))
+
+		for _, w := range ycsb.CoreWorkloads() {
+			ops := o.YCSBOps
+			if w.ScanProp > 0 {
+				// Workload E's scans touch MaxScanLen records per op;
+				// trim the op count to keep runtimes proportionate.
+				ops = o.YCSBOps / 10
+			}
+			ts.h = &Histogram{}
+			var res ycsb.Result
+			d, err := phase(db, func() error {
+				var err error
+				res, err = runner.Run(w, ops)
+				return err
+			})
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			sr.Phases = append(sr.Phases, phaseResult(db, w.Name, int64(res.Ops), d, ts.h))
+		}
+		rep.Stores = append(rep.Stores, sr)
+		db.Close()
+	}
+	return rep, nil
+}
+
+func phaseResult(db *lsm.DB, name string, ops int64, d time.Duration, h *Histogram) YCSBPhase {
+	amp := db.Amplification()
+	return YCSBPhase{
+		Workload:  name,
+		Ops:       ops,
+		OpsPerSec: throughput(ops, d),
+		P50us:     float64(h.Percentile(50)) / 1e3,
+		P99us:     float64(h.Percentile(99)) / 1e3,
+		WA:        amp.WA,
+		AWA:       amp.AWA,
+	}
+}
+
+// WriteYCSBJSON writes the report as indented JSON.
+func WriteYCSBJSON(w io.Writer, rep *YCSBReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -147,6 +147,8 @@ func (d *DB) runCompaction(c *compaction) error {
 	d.compID++
 	id := d.compID
 	startBusy := d.disk.Stats().BusyTime
+	hostStart := d.drive.HostBytesWritten()
+	devStart := d.disk.Stats().BytesWritten
 	sp := d.journal.Begin("compaction", 0)
 	sp.Set("id", int64(id))
 	sp.Set("from", int64(c.level))
@@ -275,6 +277,8 @@ func (d *DB) runCompaction(c *compaction) error {
 	}
 	inBytes := c.inputBytes()
 	lat := d.disk.Stats().BusyTime - startBusy
+	hostBytes := d.drive.HostBytesWritten() - hostStart
+	devBytes := d.disk.Stats().BytesWritten - devStart
 	d.stats.CompactionCount++
 	d.stats.CompactionReadBytes += inBytes
 	d.stats.CompactionWriteBytes += outBytes
@@ -284,12 +288,26 @@ func (d *DB) runCompaction(c *compaction) error {
 		InputBytes: inBytes, OutputBytes: outBytes,
 		OutputFiles:      len(outputs),
 		Latency:          lat,
+		HostBytes:        hostBytes,
+		DeviceBytes:      devBytes,
 		OutputPlacements: placements,
 	})
 	d.metrics.compactions.Inc()
 	d.metrics.compactionReadBytes.Add(inBytes)
 	d.metrics.compactionWriteBytes.Add(outBytes)
 	d.metrics.compactionLatency.Observe(int64(lat))
+	// Per-level amplification accounting: bytes read out of each input
+	// level, bytes written into the output level.
+	var in0, in1 int64
+	for _, f := range c.inputs0 {
+		in0 += f.Size
+	}
+	for _, f := range c.inputs1 {
+		in1 += f.Size
+	}
+	d.metrics.levelReadBytes[c.level].Add(in0)
+	d.metrics.levelReadBytes[c.outLevel].Add(in1)
+	d.metrics.levelWriteBytes[c.outLevel].Add(outBytes)
 	sp.Set("input_bytes", inBytes)
 	sp.Set("output_bytes", outBytes)
 	sp.Set("output_files", int64(len(outputs)))

@@ -156,6 +156,9 @@ type Config struct {
 	// JournalCapacity bounds the observability event journal ring
 	// (0 means the default of 4096 events).
 	JournalCapacity int
+	// Trace configures the request tracer (see trace.go); the zero
+	// value leaves tracing off with default sampling thresholds.
+	Trace TraceConfig
 	// WrapDrive, if set, wraps the mode's drive before the backend is
 	// built on it — the hook fault injectors use to sit between the
 	// engine and the media. Allocators and drive-introspection paths

@@ -118,6 +118,11 @@ type DB struct {
 	reg     *obs.Registry
 	journal *obs.Journal
 	metrics dbMetrics
+	// tracer is the request tracer (trace.go). Its per-operation
+	// state is serialized by mu (see the field comments there); the
+	// enable flag is atomic, so SetTracing and the traced-path check
+	// need no lock.
+	tracer tracer
 
 	mu        sync.Mutex
 	tableLRU  []uint64 // open-table recency, most recent last

@@ -14,6 +14,8 @@ func (d *DB) flushMemtable(mem *memtable.MemTable, newLogNum uint64) error {
 		return nil
 	}
 	startBusy := d.disk.Stats().BusyTime
+	hostStart := d.drive.HostBytesWritten()
+	devStart := d.disk.Stats().BytesWritten
 	sp := d.journal.Begin("flush", 0)
 
 	b := sstable.NewBuilder().SetCompression(d.cfg.Compression)
@@ -57,11 +59,14 @@ func (d *DB) flushMemtable(mem *memtable.MemTable, newLogNum uint64) error {
 		OutputBytes: meta.Size,
 		OutputFiles: 1,
 		Latency:     lat,
+		HostBytes:   d.drive.HostBytesWritten() - hostStart,
+		DeviceBytes: d.disk.Stats().BytesWritten - devStart,
 		Flush:       true,
 	})
 	d.metrics.flushes.Inc()
 	d.metrics.flushBytes.Add(meta.Size)
 	d.metrics.flushLatency.Observe(int64(lat))
+	d.metrics.levelWriteBytes[0].Add(meta.Size)
 	sp.Set("table", int64(num))
 	sp.Set("bytes", meta.Size)
 	sp.End()

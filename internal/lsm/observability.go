@@ -29,10 +29,32 @@ type dbMetrics struct {
 	walReplaySkipped     *obs.Counter
 	degraded             *obs.Counter
 
+	// Tracer accounting (trace.go).
+	traceOps        *obs.Counter
+	traceSampled    *obs.Counter
+	traceSlowOps    *obs.Counter
+	traceIOs        *obs.Counter
+	traceIOBytes    *obs.Counter
+	traceCacheHits  *obs.Counter
+	traceDroppedIOs *obs.Counter
+
+	// Per-level amplification accounting: logical bytes written into
+	// and read out of each level by flushes and compactions.
+	levelWriteBytes []*obs.Counter
+	levelReadBytes  []*obs.Counter
+
 	writeLatency      *obs.Histogram
 	readLatency       *obs.Histogram
 	flushLatency      *obs.Histogram
 	compactionLatency *obs.Histogram
+
+	// Per-stage latency breakdown, in simulated device nanoseconds;
+	// observed only while tracing is enabled.
+	stageWALNS      *obs.Histogram
+	stageMemtableNS *obs.Histogram
+	stageStallNS    *obs.Histogram
+	stageReadMemNS  *obs.Histogram
+	stageReadLevel  []*obs.Histogram
 }
 
 // initObs builds the DB's metrics registry and event journal and
@@ -68,6 +90,28 @@ func (d *DB) initObs() {
 	m.flushLatency = d.reg.Histogram("sealdb_flush_latency_ns")
 	m.compactionLatency = d.reg.Histogram("sealdb_compaction_latency_ns")
 
+	m.traceOps = d.reg.Counter("sealdb_trace_ops_total")
+	m.traceSampled = d.reg.Counter("sealdb_trace_sampled_total")
+	m.traceSlowOps = d.reg.Counter("sealdb_trace_slow_ops_total")
+	m.traceIOs = d.reg.Counter("sealdb_trace_ios_total")
+	m.traceIOBytes = d.reg.Counter("sealdb_trace_io_bytes_total")
+	m.traceCacheHits = d.reg.Counter("sealdb_trace_cache_hits_total")
+	m.traceDroppedIOs = d.reg.Counter("sealdb_trace_dropped_ios_total")
+
+	m.stageWALNS = d.reg.Histogram("sealdb_stage_wal_append_ns")
+	m.stageMemtableNS = d.reg.Histogram("sealdb_stage_memtable_ns")
+	m.stageStallNS = d.reg.Histogram("sealdb_stage_compaction_stall_ns")
+	m.stageReadMemNS = d.reg.Histogram("sealdb_stage_read_memtable_ns")
+	m.stageReadLevel = make([]*obs.Histogram, d.cfg.NumLevels)
+	m.levelWriteBytes = make([]*obs.Counter, d.cfg.NumLevels)
+	m.levelReadBytes = make([]*obs.Counter, d.cfg.NumLevels)
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		m.stageReadLevel[l] = d.reg.Histogram(fmt.Sprintf("sealdb_stage_read_level_%d_ns", l))
+		m.levelWriteBytes[l] = d.reg.Counter(fmt.Sprintf("sealdb_level_%d_write_bytes_total", l))
+		m.levelReadBytes[l] = d.reg.Counter(fmt.Sprintf("sealdb_level_%d_read_bytes_total", l))
+	}
+
+	d.tracer.init(d)
 	d.registerGauges()
 	d.installDeviceObservers()
 }
@@ -256,6 +300,13 @@ func (d *DB) Events() []obs.Event {
 	return d.journal.Events()
 }
 
+// JournalDropped returns how many events the journal ring has
+// evicted; offline analyzers use it to tell a complete event record
+// from a truncated one.
+func (d *DB) JournalDropped() int64 {
+	return d.journal.Dropped()
+}
+
 // FaultProfile is the /debug/faults payload: degraded-mode state,
 // retry-layer counters, injected-fault counters (when a fault
 // injector is in the drive chain), and what the last recovery found.
@@ -297,8 +348,9 @@ func (d *DB) FaultProfile() FaultProfile {
 
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text, or JSON with ?format=json), /debug/levels,
-// /debug/sets, /debug/events, and /debug/faults. The cmd drivers
-// mount it behind their -serve flag.
+// /debug/sets, /debug/events, /debug/faults, and
+// /debug/amplification. The cmd drivers mount it behind their -serve
+// flag.
 func (d *DB) ObsHandler() http.Handler {
 	m := obs.NewMux()
 	m.HandleMetrics("/metrics", d.MetricsSnapshot)
@@ -306,5 +358,6 @@ func (d *DB) ObsHandler() http.Handler {
 	m.HandleJSON("/debug/sets", func() any { return d.SetProfile() })
 	m.HandleJSON("/debug/events", func() any { return d.Events() })
 	m.HandleJSON("/debug/faults", func() any { return d.FaultProfile() })
+	m.HandleJSON("/debug/amplification", func() any { return d.AmplificationProfile() })
 	return m
 }

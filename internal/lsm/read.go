@@ -8,12 +8,22 @@ import (
 
 // Get returns the value of key at the latest sequence number.
 func (d *DB) Get(key []byte) ([]byte, error) {
+	return d.GetCtx(key, OpContext{})
+}
+
+// GetCtx is Get carrying a request context: when tracing is enabled,
+// the lookup's physical I/Os and per-level stage times are attributed
+// to ctx.ReqID. With tracing off it is exactly Get.
+func (d *DB) GetCtx(key []byte, ctx OpContext) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return nil, ErrClosed
 	}
-	return d.getObserved(key, d.seq)
+	ot := d.traceBegin("get", ctx.ReqID)
+	v, err := d.getObserved(key, d.seq, ot)
+	d.traceEnd(ot, err)
+	return v, err
 }
 
 // GetAt returns the value of key as of the given snapshot.
@@ -23,15 +33,18 @@ func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
-	return d.getObserved(key, snap.seq)
+	ot := d.traceBegin("get", 0)
+	v, err := d.getObserved(key, snap.seq, ot)
+	d.traceEnd(ot, err)
+	return v, err
 }
 
 // getObserved wraps getLocked with the read-path metrics: a count, a
 // hit count, and the simulated device time the lookup consumed.
-// Caller holds d.mu.
-func (d *DB) getObserved(key []byte, seq kv.SeqNum) ([]byte, error) {
+// Caller holds d.mu; ot may be nil (tracing off).
+func (d *DB) getObserved(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 	startBusy := d.disk.Stats().BusyTime
-	v, err := d.getLocked(key, seq)
+	v, err := d.getLocked(key, seq, ot)
 	d.metrics.gets.Inc()
 	if err == nil {
 		d.metrics.getHits.Inc()
@@ -41,21 +54,27 @@ func (d *DB) getObserved(key []byte, seq kv.SeqNum) ([]byte, error) {
 }
 
 // getLocked is the LevelDB read path: memtable, then level 0 newest
-// to oldest, then each deeper level. Caller holds d.mu.
-func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
+// to oldest, then each deeper level. Caller holds d.mu; ot may be nil.
+func (d *DB) getLocked(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 	d.stats.Gets++
+	si := ot.stageStart(stageReadMemtable, d.traceNow(ot))
 	if v, deleted, ok := d.mem.Get(key, seq); ok {
+		ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadMemNS)
 		if deleted {
 			return nil, ErrNotFound
 		}
 		d.stats.GetHits++
 		return append([]byte(nil), v...), nil
 	}
+	ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadMemNS)
 	v := d.vs.Current()
 
 	// Level 0: files may overlap; newest (highest number) wins.
 	// Flush order guarantees file-number order is data recency order.
 	files := v.Files[0]
+	if len(files) > 0 {
+		si = ot.stageStart(d.tracer.readStages[0], d.traceNow(ot))
+	}
 	for i := len(files) - 1; i >= 0; i-- {
 		f := files[i]
 		if !fileMayContain(f, key) {
@@ -66,6 +85,7 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
 			return nil, err
 		}
 		if ok {
+			ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadLevel[0])
 			if kind == kv.KindDelete {
 				return nil, ErrNotFound
 			}
@@ -73,18 +93,23 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
 			return val, nil
 		}
 	}
+	if len(files) > 0 {
+		ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadLevel[0])
+	}
 
 	for level := 1; level < d.cfg.NumLevels; level++ {
 		candidates := v.Overlaps(level, key, key, d.cfg.sortedLevel(level))
 		if len(candidates) == 0 {
 			continue
 		}
+		si = ot.stageStart(d.tracer.readStages[level], d.traceNow(ot))
 		if d.cfg.sortedLevel(level) {
 			// At most one file can contain the key.
 			val, _, kind, ok, err := d.tableGet(candidates[0], key, seq)
 			if err != nil {
 				return nil, err
 			}
+			ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadLevel[level])
 			if ok {
 				if kind == kv.KindDelete {
 					return nil, ErrNotFound
@@ -111,6 +136,7 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
 				best, bestSeq, bestKind, found = val, fseq, kind, true
 			}
 		}
+		ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadLevel[level])
 		if found {
 			if bestKind == kv.KindDelete {
 				return nil, ErrNotFound
@@ -120,6 +146,15 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum) ([]byte, error) {
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// traceNow returns the device clock for stage bookkeeping, or 0 when
+// the op is untraced — avoiding the disk-stats lock on the hot path.
+func (d *DB) traceNow(ot *opTrace) int64 {
+	if ot == nil {
+		return 0
+	}
+	return d.deviceNow()
 }
 
 // fileMayContain is the cheap user-key range test.

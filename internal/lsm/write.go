@@ -27,6 +27,14 @@ func (d *DB) Delete(key []byte) error {
 // memtable, rotating the memtable (and compacting as needed) when it
 // is full.
 func (d *DB) Apply(b *Batch) error {
+	return d.ApplyCtx(b, OpContext{})
+}
+
+// ApplyCtx is Apply carrying a request context: when tracing is
+// enabled, the commit's physical I/Os — WAL append, and any flush or
+// compaction stall the batch absorbed — are attributed to ctx.ReqID.
+// With tracing off it is exactly Apply.
+func (d *DB) ApplyCtx(b *Batch, ctx OpContext) error {
 	if b.Len() == 0 {
 		return nil
 	}
@@ -35,22 +43,37 @@ func (d *DB) Apply(b *Batch) error {
 	if err := d.writeAllowed(); err != nil {
 		return err
 	}
+	ot := d.traceBegin("apply", ctx.ReqID)
+	err := d.applyLocked(b, ot)
+	d.traceEnd(ot, err)
+	return err
+}
+
+// applyLocked is the commit path body. Caller holds d.mu and has
+// passed writeAllowed; ot may be nil (tracing off).
+func (d *DB) applyLocked(b *Batch, ot *opTrace) error {
 	startBusy := d.disk.Stats().BusyTime
+	si := ot.stageStart(stageCompactionStall, d.traceNow(ot))
 	if err := d.makeRoomForWrite(b.Size()); err != nil {
 		return d.failWrite(err)
 	}
+	ot.stageEnd(si, d.traceNow(ot), d.metrics.stageStallNS)
 	base := d.seq + 1
 	d.seq += kv.SeqNum(b.count)
 	b.setSeq(base)
+	si = ot.stageStart(stageWALAppend, d.traceNow(ot))
 	if err := d.walW.AddRecord(b.rep); err != nil {
 		return d.failWrite(err)
 	}
+	ot.stageEnd(si, d.traceNow(ot), d.metrics.stageWALNS)
+	si = ot.stageStart(stageMemtable, d.traceNow(ot))
 	if _, _, err := decodeBatch(b.rep, func(seq kv.SeqNum, kind kv.Kind, key, value []byte) error {
 		d.mem.Add(seq, kind, key, value)
 		return nil
 	}); err != nil {
 		return err
 	}
+	ot.stageEnd(si, d.traceNow(ot), d.metrics.stageMemtableNS)
 	d.stats.UserBytes += b.bytes
 	d.stats.UserWrites += int64(b.Len())
 	d.metrics.writes.Add(int64(b.Len()))

@@ -74,10 +74,13 @@ func (j *Journal) Record(typ string, fields map[string]int64) uint64 {
 }
 
 // Span is an in-flight event started by Begin. It is not visible in
-// the journal until End is called.
+// the journal until End is called. End is idempotent: the first call
+// journals the span, later calls are no-ops, so a deferred End can
+// coexist with an explicit early End on the happy path.
 type Span struct {
-	j  *Journal
-	ev Event
+	j     *Journal
+	ended bool
+	ev    Event
 }
 
 // Begin opens a span. parent (0 for none) links nested spans — e.g.
@@ -114,15 +117,34 @@ func (s *Span) Set(key string, v int64) {
 	s.ev.Fields[key] = v
 }
 
-// End closes the span and journals it.
+// End closes the span and journals it. Only the first call has any
+// effect; a span is journaled at most once. A span is owned by one
+// goroutine, so the ended flag needs no lock.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	s.ended = true
 	s.ev.EndNS = s.j.now()
 	s.j.mu.Lock()
 	s.j.append(s.ev)
 	s.j.mu.Unlock()
+}
+
+// RecordSpan journals a completed span after the fact — start and end
+// stamps supplied by the caller rather than drawn from the journal
+// clock — and returns its id. The tracer uses this to emit a whole
+// span tree in one shot once an operation is known to be sampled or
+// slow, without paying Begin/End bookkeeping on every operation.
+func (j *Journal) RecordSpan(typ string, parent uint64, startNS, endNS int64, fields map[string]int64) uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.nextID++
+	j.append(Event{ID: j.nextID, Parent: parent, Type: typ, StartNS: startNS, EndNS: endNS, Fields: fields})
+	return j.nextID
 }
 
 // Events returns the journaled events, oldest first.
@@ -137,6 +159,46 @@ func (j *Journal) Events() []Event {
 		out[i] = j.events[(j.start+i)%len(j.events)]
 	}
 	return out
+}
+
+// SpanNode is one event in a reassembled span tree.
+type SpanNode struct {
+	Event
+	// ParentDropped marks a node whose parent id is nonzero but whose
+	// parent event is not in the snapshot — evicted by the ring bound
+	// (or journaled after the snapshot was taken). Such nodes are
+	// surfaced as roots rather than silently orphaned.
+	ParentDropped bool `json:"parent_dropped,omitempty"`
+	Children      []*SpanNode `json:"children,omitempty"`
+}
+
+// SpanTrees reassembles a flat event snapshot (as returned by Events)
+// into parent-linked trees, oldest root first. Every event appears in
+// exactly one tree: events with parent 0 are roots, events whose
+// parent is present become children, and events whose parent was
+// dropped from the ring become roots with ParentDropped set.
+func SpanTrees(events []Event) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(events))
+	order := make([]*SpanNode, 0, len(events))
+	for _, e := range events {
+		n := &SpanNode{Event: e}
+		nodes[e.ID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if n.Parent == 0 {
+			roots = append(roots, n)
+			continue
+		}
+		if p, ok := nodes[n.Parent]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			n.ParentDropped = true
+			roots = append(roots, n)
+		}
+	}
+	return roots
 }
 
 // Dropped returns how many events were evicted by the ring bound.

@@ -75,12 +75,36 @@ type Stats struct {
 // TraceEntry records one device access for layout experiments
 // (Figures 2, 11 and 13 of the paper plot these).
 type TraceEntry struct {
+	Write  bool  `json:"write,omitempty"`
+	Offset int64 `json:"offset"`
+	Length int   `json:"length"`
+	// Tag is an opaque label set via Disk.SetTag, used to attribute
+	// accesses to a compaction or flush.
+	Tag int64 `json:"tag,omitempty"`
+}
+
+// AccessInfo describes one device access as seen by a Sink: what was
+// transferred and what it cost under the service-time model.
+type AccessInfo struct {
 	Write  bool
 	Offset int64
 	Length int
-	// Tag is an opaque label set via Disk.SetTag, used to attribute
-	// accesses to a compaction or flush.
-	Tag int64
+	// SeekDistance is the absolute head travel in bytes from the end
+	// of the previous access; 0 for a sequential continuation (Seek
+	// false). The first access after power-on pays an average seek and
+	// reports distance 0 with Seek true.
+	SeekDistance int64
+	Seek         bool
+	// ServiceNS is the modeled service time of this access in
+	// nanoseconds (seek + rotational + transfer).
+	ServiceNS int64
+}
+
+// Sink observes every device access. It is invoked synchronously
+// under the disk lock, so implementations must be fast and must not
+// call back into the Disk.
+type Sink interface {
+	ObserveAccess(AccessInfo)
 }
 
 // Disk is a simulated raw disk. All methods are safe for concurrent
@@ -95,6 +119,7 @@ type Disk struct {
 	tracing bool
 	trace   []TraceEntry
 	tag     int64
+	sink    Sink
 }
 
 // New creates a disk with the given configuration.
@@ -126,10 +151,19 @@ func (d *Disk) checkRange(off int64, n int) error {
 }
 
 // serviceTime computes and accounts the cost of one access under the
-// lock. It updates lastEnd and the seek counter.
+// lock. It updates lastEnd and the seek counter, and reports the
+// access to the attribution sink, if one is installed.
 func (d *Disk) serviceTime(off int64, n int, write bool) time.Duration {
 	var t time.Duration
-	if off != d.lastEnd {
+	var dist int64
+	seek := off != d.lastEnd
+	if seek {
+		if d.lastEnd >= 0 {
+			dist = off - d.lastEnd
+			if dist < 0 {
+				dist = -dist
+			}
+		}
 		t += d.seekCost(off) + d.cfg.RotationalLatency
 		d.stats.Seeks++
 	}
@@ -142,6 +176,12 @@ func (d *Disk) serviceTime(off int64, n int, write bool) time.Duration {
 	}
 	d.lastEnd = off + int64(n)
 	d.stats.BusyTime += t
+	if d.sink != nil {
+		d.sink.ObserveAccess(AccessInfo{
+			Write: write, Offset: off, Length: n,
+			SeekDistance: dist, Seek: seek, ServiceNS: int64(t),
+		})
+	}
 	return t
 }
 
@@ -283,6 +323,15 @@ func (d *Disk) SetTag(tag int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tag = tag
+}
+
+// SetSink installs (or, with nil, removes) the access attribution
+// sink. The sink is called under the disk lock for every subsequent
+// access; see the Sink contract.
+func (d *Disk) SetSink(s Sink) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sink = s
 }
 
 // MemoryFootprint returns the bytes held by the sparse backing store,

@@ -61,6 +61,12 @@ type Options struct {
 	// MaxFrame bounds accepted response frames. 0 means
 	// wire.DefaultMaxFrame.
 	MaxFrame int
+	// Trace requests wire.FeatureTrace in the handshake: the server
+	// then threads this client's request ids into the engine tracer,
+	// so sampled operations journal span trees attributing physical
+	// I/O back to individual requests. Check Features() after Dial to
+	// see whether the server granted it.
+	Trace bool
 }
 
 func (o *Options) conns() int {

@@ -114,10 +114,14 @@ func (cc *clientConn) handshake(o *Options) error {
 	if err := cc.nc.SetDeadline(time.Now().Add(o.dialTimeout())); err != nil {
 		return fmt.Errorf("%w: %v", ErrConn, err)
 	}
+	features := wire.FeaturePipeline | wire.FeatureCoalesce
+	if o.Trace {
+		features |= wire.FeatureTrace
+	}
 	hello := wire.Hello{
 		Magic:    wire.Magic,
 		Version:  wire.Version,
-		Features: wire.FeaturePipeline | wire.FeatureCoalesce,
+		Features: features,
 	}
 	f := wire.Frame{Op: wire.OpHello, ReqID: 0, Payload: wire.AppendHello(nil, hello)}
 	if err := wire.WriteFrame(cc.nc, &f); err != nil {

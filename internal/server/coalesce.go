@@ -14,6 +14,11 @@ type commitReq struct {
 	// start anchors the request's write-latency observation at its
 	// enqueue time, so the metric includes queueing and coalescing.
 	start time.Time
+	// traced marks a request from a connection that negotiated
+	// wire.FeatureTrace; reqID is its wire request id. The group
+	// commit is attributed to the first traced request it absorbs.
+	traced bool
+	reqID  uint64
 	// done is invoked exactly once with the group's commit outcome;
 	// it must not block (it enqueues the ack and releases the
 	// connection's pipeline slot).
@@ -87,7 +92,18 @@ func (s *Server) commitGroup(first *commitReq) {
 		}
 	}
 commit:
-	err := s.db.Apply(b)
+	// Queue wait: enqueue → the moment the group starts applying.
+	// Recorded per absorbed request, so the histogram shows what
+	// coalescing costs individual writers in wall-clock time.
+	applyStart := time.Now()
+	var ctx lsm.OpContext
+	for _, req := range reqs {
+		s.m.coalesceWait.Observe(applyStart.Sub(req.start).Nanoseconds())
+		if ctx.ReqID == 0 && req.traced {
+			ctx.ReqID = req.reqID
+		}
+	}
+	err := s.db.ApplyCtx(b, ctx)
 
 	s.m.coalescedCommits.Inc()
 	s.m.coalescedReqs.Observe(int64(len(reqs)))

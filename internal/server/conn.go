@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sealdb/internal/lsm"
 	"sealdb/internal/wire"
 )
 
@@ -34,6 +35,12 @@ type conn struct {
 	dead      chan struct{}
 	deadOnce  sync.Once
 	closeOnce sync.Once
+
+	// traced is set by the handshake when the client negotiated
+	// wire.FeatureTrace: this connection's request ids are threaded
+	// into the engine tracer. Written before any dispatch, read only
+	// by the reader goroutine.
+	traced bool
 
 	// Connection stats, read by /debug/conns without locks.
 	opened    time.Time
@@ -164,7 +171,11 @@ func (c *conn) doGet(f *wire.Frame) {
 		return
 	}
 	start := time.Now()
-	v, err := c.srv.db.Get(key)
+	var ctx lsm.OpContext
+	if c.traced {
+		ctx.ReqID = f.ReqID
+	}
+	v, err := c.srv.db.GetCtx(key, ctx)
 	c.srv.m.getLatency.Observe(time.Since(start).Nanoseconds())
 	if err != nil {
 		c.send(errReply(f.ReqID, err))
@@ -243,6 +254,8 @@ func (c *conn) enqueueWrite(f *wire.Frame) bool {
 	req := &commitReq{
 		entries: entries,
 		start:   time.Now(),
+		traced:  c.traced,
+		reqID:   reqID,
 		done: func(err error) {
 			if err != nil {
 				c.send(errReply(reqID, err))
@@ -296,7 +309,14 @@ func (c *conn) handshake() bool {
 	reply := wire.Hello{
 		Magic:    wire.Magic,
 		Version:  wire.Version,
-		Features: h.Features & (wire.FeaturePipeline | wire.FeatureCoalesce),
+		Features: h.Features & (wire.FeaturePipeline | wire.FeatureCoalesce | wire.FeatureTrace),
+	}
+	if reply.Features&wire.FeatureTrace != 0 {
+		// Tracing is engine-global and sticky for the server's
+		// lifetime: one traced client turns the tracer on for
+		// everyone (untraced connections' ops are simply anonymous).
+		c.traced = true
+		c.srv.db.SetTracing(true)
 	}
 	c.send(wire.Reply(f.ReqID, wire.StatusOK, wire.AppendHello(nil, reply)))
 	c.handshook.Store(true)

@@ -24,6 +24,7 @@ type metrics struct {
 	coalescedCommits *obs.Counter
 	coalescedReqs    *obs.Histogram
 	coalescedEntries *obs.Histogram
+	coalesceWait     *obs.Histogram
 
 	getLatency   *obs.Histogram
 	scanLatency  *obs.Histogram
@@ -49,6 +50,7 @@ func newMetrics(reg *obs.Registry, s *Server) *metrics {
 		coalescedCommits: reg.Counter("sealdb_server_coalesced_commits_total"),
 		coalescedReqs:    reg.Histogram("sealdb_server_coalesced_group_requests"),
 		coalescedEntries: reg.Histogram("sealdb_server_coalesced_group_entries"),
+		coalesceWait:     reg.Histogram("sealdb_server_coalesce_wait_ns"),
 		getLatency:       reg.Histogram("sealdb_server_get_latency_ns"),
 		scanLatency:      reg.Histogram("sealdb_server_scan_latency_ns"),
 		writeLatency:     reg.Histogram("sealdb_server_write_latency_ns"),

@@ -159,6 +159,12 @@ func (d *FixedBandDrive) HostBytesWritten() int64 {
 	return d.host
 }
 
+// CacheStart returns the raw-disk offset where the media-cache
+// region begins. Physical accesses at or beyond this offset are
+// media-cache traffic, not band-resident data — the tracer uses this
+// to classify per-op I/O as cache hits.
+func (d *FixedBandDrive) CacheStart() int64 { return d.cacheStart }
+
 // RMWCount returns how many band read-modify-write episodes occurred.
 func (d *FixedBandDrive) RMWCount() int64 {
 	d.mu.Lock()

@@ -1,0 +1,150 @@
+package traceanalyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sealdb/internal/kv"
+	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
+	"sealdb/internal/ycsb"
+)
+
+type store struct{ db *lsm.DB }
+
+func (s store) Put(k, v []byte) error        { return s.db.Put(k, v) }
+func (s store) Get(k []byte) ([]byte, error) { return s.db.Get(k) }
+func (s store) ScanN(start []byte, n int) (int, error) {
+	kvs, err := s.db.Scan(start, n)
+	return len(kvs), err
+}
+
+// tracedRun opens a store with tracing on, runs a small YCSB load +
+// workload A inside a Begin window, and returns the collected dump.
+func tracedRun(t *testing.T, mode lsm.Mode) *Dump {
+	t.Helper()
+	cfg := lsm.DefaultConfig(mode)
+	cfg.Geometry = lsm.ScaledGeometry(32*kv.KiB, 1*kv.GiB)
+	cfg.JournalCapacity = 1 << 16
+	cfg.Trace = lsm.TraceConfig{Enabled: true, SampleEvery: 8}
+	db, err := lsm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	base := Begin(db)
+	r := ycsb.NewRunner(store{db}, 512, 1)
+	if err := r.LoadRandom(3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ycsb.WorkloadA, 600); err != nil {
+		t.Fatal(err)
+	}
+	return Collect(db, base)
+}
+
+// TestVerifySEALDB is the acceptance check: the live
+// /debug/amplification numbers must match a recomputation from the
+// raw dump within 1%.
+func TestVerifySEALDB(t *testing.T) {
+	d := tracedRun(t, lsm.ModeSEALDB)
+	rep := Analyze(d)
+	if err := rep.Verify(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceWrites == 0 || rep.TraceReads == 0 {
+		t.Fatalf("empty trace: %d writes, %d reads", rep.TraceWrites, rep.TraceReads)
+	}
+	if rep.WA <= 1 {
+		t.Fatalf("WA %.3f, want > 1 after compactions", rep.WA)
+	}
+	if rep.SampledSpanTrees == 0 {
+		t.Fatal("no sampled span trees in the journal")
+	}
+	if len(rep.Bands) < 2 {
+		t.Fatalf("band heatmap has %d rows, want several", len(rep.Bands))
+	}
+	if len(rep.Sets) == 0 {
+		t.Fatal("no per-set write traffic found in compaction events")
+	}
+}
+
+// TestVerifyLevelDB checks the fixed-band mode, where the media cache
+// makes AWA > 1 and classifies part of the trace as cache traffic.
+func TestVerifyLevelDB(t *testing.T) {
+	d := tracedRun(t, lsm.ModeLevelDB)
+	rep := Analyze(d)
+	if err := rep.Verify(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheWriteBytes == 0 {
+		t.Fatal("no media-cache writes classified on the fixed-band drive")
+	}
+	if rep.AWA <= 1 {
+		t.Fatalf("AWA %.3f on fixed-band drive, want > 1", rep.AWA)
+	}
+	found := false
+	for _, b := range rep.Bands {
+		if b.Band == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("heatmap has no media-cache row (band -1)")
+	}
+}
+
+// TestSpanTreesInDump asserts the dump's journal carries complete
+// span trees: an op root with io children that have bytes and seek
+// distances attributed.
+func TestSpanTreesInDump(t *testing.T) {
+	d := tracedRun(t, lsm.ModeSEALDB)
+	var foundIO bool
+	for _, root := range obs.SpanTrees(d.Events) {
+		if !strings.HasPrefix(root.Type, "op_") {
+			continue
+		}
+		if _, ok := root.Fields["seek_distance"]; !ok {
+			t.Fatalf("op span %q missing seek_distance", root.Type)
+		}
+		for _, c := range root.Children {
+			if c.Type == "io" && c.Fields["length"] > 0 {
+				foundIO = true
+			}
+		}
+	}
+	if !foundIO {
+		t.Fatal("no op span tree with an attributed io child")
+	}
+}
+
+// TestDumpRoundTrip writes a dump to disk, reads it back, and checks
+// the offline analysis matches the in-memory one.
+func TestDumpRoundTrip(t *testing.T) {
+	d := tracedRun(t, lsm.ModeSEALDB)
+	dir := t.TempDir()
+	if err := d.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDump(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := Analyze(d), Analyze(d2)
+	if r1.TraceWriteBytes != r2.TraceWriteBytes || r1.RecomputedStore != r2.RecomputedStore ||
+		r1.SampledSpanTrees != r2.SampledSpanTrees || len(r1.Bands) != len(r2.Bands) {
+		t.Fatalf("offline analysis diverged: %+v vs %+v", r1, r2)
+	}
+	if err := r2.Verify(0.01); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r2.WriteText(&buf)
+	for _, want := range []string{"WA  live", "AWA live", "hottest bands", "sampled span trees"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report text missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -44,6 +44,11 @@ const (
 	// FeatureCoalesce: the server may group-commit writes from many
 	// connections into one engine batch (acks are unaffected).
 	FeatureCoalesce uint32 = 1 << 1
+	// FeatureTrace: the client asks the server to enable request
+	// tracing — its request ids are threaded into the engine so
+	// sampled operations journal span trees attributing physical I/O
+	// back to the wire request.
+	FeatureTrace uint32 = 1 << 2
 )
 
 // Op is a frame opcode.
