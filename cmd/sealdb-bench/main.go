@@ -47,11 +47,19 @@ func main() {
 		ycsbjson = flag.String("ycsbjson", "", "run the load phase and YCSB A-F on every store and write machine-readable results (ops/s, p50/p99, WA/AWA per workload) to this JSON file")
 
 		ycsbnet  = flag.String("ycsbnet", "", "run this YCSB workload (A-F) both in-process and through a sealdb server over TCP, comparing throughput")
-		netrecs  = flag.Int64("netrecords", 20000, "records to load for -ycsbnet")
+		netrecs  = flag.Int64("netrecords", 20000, "records to load for -ycsbnet and -scale")
 		netconns = flag.Int("netclients", 4, "client goroutines (and pooled connections) for -ycsbnet")
+
+		scale    = flag.String("scale", "", "sweep client counts over TCP per workload and write the scaling report (ops/s, p50/p99, lock-wait share) to this JSON file")
+		scalecl  = flag.String("scaleclients", "1,2,4,8", "comma-separated client counts for -scale")
+		scalewls = flag.String("scaleworkloads", "A,C", "comma-separated YCSB workloads for -scale")
 	)
 	flag.Parse()
 
+	if *scale != "" {
+		runScale(*scale, *scalewls, *scalecl, *netrecs, *ops, 1024, seed1(*seed))
+		return
+	}
 	if *ycsbnet != "" {
 		runYCSBNet(*ycsbnet, *netrecs, *ops, 1024, seed1(*seed), *netconns)
 		return

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
+	"sealdb/internal/sealclient"
+	"sealdb/internal/server"
+	"sealdb/internal/ycsb"
+)
+
+// ScaleSchema identifies the BENCH_scaling.json layout so CI can
+// validate artifacts across revisions.
+const ScaleSchema = "sealdb-bench-scaling/v1"
+
+// ScaleReport is the top-level -scale output: one sweep of client
+// counts per workload against a fresh server each point.
+type ScaleReport struct {
+	Schema    string          `json:"schema"`
+	Records   int64           `json:"records"`
+	Ops       int             `json:"ops_per_point"`
+	ValueSize int             `json:"value_size"`
+	Seed      int64           `json:"seed"`
+	Workloads []ScaleWorkload `json:"workloads"`
+}
+
+// ScaleWorkload is one workload's scaling curve.
+type ScaleWorkload struct {
+	Name   string       `json:"workload"`
+	Points []ScalePoint `json:"points"`
+}
+
+// ScalePoint is one (workload, client count) measurement.
+type ScalePoint struct {
+	Clients        int     `json:"clients"`
+	Ops            int     `json:"ops"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	P50NS          int64   `json:"p50_ns"`
+	P99NS          int64   `json:"p99_ns"`
+	// LockWaitNS is the total time all goroutines spent blocked on
+	// profiled locks during the window, summed over sites.
+	LockWaitNS int64 `json:"lock_wait_ns"`
+	// LockWaitShare is LockWaitNS over the window's total client time
+	// (clients x elapsed): the fraction of client capacity burned
+	// waiting on locks. The number the big-mutex split must drive down.
+	LockWaitShare float64 `json:"lock_wait_share"`
+	TopLockSite   string  `json:"top_lock_site"`
+}
+
+// latStore wraps a ycsb.Store, timing every operation into a shared
+// histogram. Each client goroutine gets its own wrapper; the
+// histogram is concurrency-safe.
+type latStore struct {
+	st  ycsb.Store
+	lat *obs.Histogram
+}
+
+func (s latStore) Put(k, v []byte) error {
+	t0 := time.Now()
+	err := s.st.Put(k, v)
+	s.lat.Observe(time.Since(t0).Nanoseconds())
+	return err
+}
+
+func (s latStore) Get(k []byte) ([]byte, error) {
+	t0 := time.Now()
+	v, err := s.st.Get(k)
+	s.lat.Observe(time.Since(t0).Nanoseconds())
+	return v, err
+}
+
+func (s latStore) ScanN(start []byte, n int) (int, error) {
+	t0 := time.Now()
+	c, err := s.st.ScanN(start, n)
+	s.lat.Observe(time.Since(t0).Nanoseconds())
+	return c, err
+}
+
+// runScale sweeps client counts over TCP for each workload, writing
+// the scaling report to outPath and a summary table to stdout. Every
+// point gets a fresh store and server so the curve measures scaling,
+// not accumulated compaction debt.
+func runScale(outPath, workloads, clientList string, records int64, ops, valueSize int, seed int64) {
+	counts, err := parseClientCounts(clientList)
+	if err != nil {
+		fatal(err)
+	}
+	if ops <= 0 {
+		ops = 10000
+	}
+	rep := ScaleReport{
+		Schema:    ScaleSchema,
+		Records:   records,
+		Ops:       ops,
+		ValueSize: valueSize,
+		Seed:      seed,
+	}
+
+	fmt.Printf("# scale: workloads %s, clients %v, %d records, %d ops/point\n\n",
+		workloads, counts, records, ops)
+	fmt.Printf("%-8s %8s %10s %12s %10s %10s %10s  %s\n",
+		"workload", "clients", "ops/s", "p50", "p99", "lockwait", "share", "top site")
+
+	for _, wlName := range strings.Split(workloads, ",") {
+		w, err := findWorkload(strings.TrimSpace(wlName))
+		if err != nil {
+			fatal(err)
+		}
+		sw := ScaleWorkload{Name: w.Name}
+		for _, n := range counts {
+			p := runScalePoint(w, records, ops, valueSize, seed, n)
+			sw.Points = append(sw.Points, p)
+			fmt.Printf("%-8s %8d %10.0f %12v %10v %10v %9.1f%%  %s\n",
+				w.Name, p.Clients, p.OpsPerSec,
+				time.Duration(p.P50NS).Round(time.Microsecond),
+				time.Duration(p.P99NS).Round(time.Microsecond),
+				time.Duration(p.LockWaitNS).Round(time.Microsecond),
+				p.LockWaitShare*100, p.TopLockSite)
+		}
+		rep.Workloads = append(rep.Workloads, sw)
+		fmt.Println()
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# wrote %s (%d workloads x %d client counts)\n",
+		outPath, len(rep.Workloads), len(counts))
+}
+
+// runScalePoint measures one (workload, clients) cell: fresh DB and
+// server, N pooled connections, N runner goroutines, lock profiling
+// bracketing the measured run.
+func runScalePoint(w ycsb.Workload, records int64, ops, valueSize int, seed int64, clients int) ScalePoint {
+	db, err := lsm.Open(lsm.DefaultConfig(lsm.ModeSEALDB))
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	srv, err := server.Serve(db, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	cl, err := sealclient.Dial(srv.Addr().String(), sealclient.Options{Conns: clients})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	lat := obs.NewHistogram()
+	beforeWait := map[string]int64{}
+	beforeHold := map[string]int64{}
+	for _, s := range obs.ContentionProfile() {
+		beforeWait[s.Name] = s.TotalWaitNS
+		beforeHold[s.Name] = s.TotalHoldNS
+	}
+	obs.SetLockProfiling(true)
+	n, elapsed := runYCSBParallel(w, records, ops, valueSize, seed, clients,
+		dbStore{db}, func() ycsb.Store { return latStore{st: netStore{cl}, lat: lat} })
+	obs.SetLockProfiling(false)
+
+	// Rank sites by wait accrued in the window; when nothing waited
+	// (e.g. GOMAXPROCS=1 serializes the clients), fall back to hold
+	// time so the hottest lock is still named.
+	var waitTotal, topWait, topHold int64
+	var topSite string
+	for _, s := range obs.ContentionProfile() {
+		waitDelta := s.TotalWaitNS - beforeWait[s.Name]
+		holdDelta := s.TotalHoldNS - beforeHold[s.Name]
+		waitTotal += waitDelta
+		if waitDelta > topWait || (topWait == 0 && holdDelta > topHold) {
+			topWait, topHold, topSite = waitDelta, holdDelta, s.Name
+		}
+	}
+
+	snap := lat.Snapshot()
+	p := ScalePoint{
+		Clients:        clients,
+		Ops:            n,
+		ElapsedSeconds: elapsed.Seconds(),
+		OpsPerSec:      float64(n) / elapsed.Seconds(),
+		P50NS:          snap.P50,
+		P99NS:          snap.P99,
+		LockWaitNS:     waitTotal,
+		TopLockSite:    topSite,
+	}
+	if budget := int64(clients) * elapsed.Nanoseconds(); budget > 0 {
+		p.LockWaitShare = float64(waitTotal) / float64(budget)
+	}
+	return p
+}
+
+func parseClientCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no client counts in %q", s)
+	}
+	return counts, nil
+}

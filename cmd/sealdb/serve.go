@@ -30,10 +30,17 @@ func runServe(args []string) {
 		obsAddr  = fs.String("obs", "", "also serve /metrics and /debug endpoints on this HTTP address")
 		conns    = fs.Int("conns", 0, "max concurrent connections (0 = default)")
 		inflight = fs.Int("inflight", 0, "max unanswered requests per connection (0 = default)")
+
+		lockprof  = fs.Bool("lockprofile", false, "start with lock-contention profiling on (also togglable via /debug/contention?profile=on)")
+		mutexfrac = fs.Int("mutexfrac", -1, "runtime mutex profile fraction for /debug/pprof/mutex (-1 = leave default)")
+		blockrate = fs.Int("blockrate", -1, "runtime block profile rate in ns for /debug/pprof/block (-1 = leave default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
+
+	obs.SetLockProfiling(*lockprof)
+	obs.SetProfileRates(*mutexfrac, *blockrate)
 
 	m, err := parseMode(*mode)
 	if err != nil {
@@ -67,7 +74,7 @@ func runServe(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("observability on http://%s/metrics (plus /debug/conns, /debug/levels, /debug/sets, /debug/events)\n", osrv.Addr)
+		fmt.Printf("observability on http://%s/metrics (plus /debug/contention, /debug/runtime, /debug/pprof/, /debug/conns, /debug/levels, /debug/sets, /debug/events)\n", osrv.Addr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -4,9 +4,12 @@
 // RLock call on a field or variable of that name), is itself
 // documented as running with the lock held ("Caller holds ..." /
 // "caller must hold ..."), or is named with the *Locked suffix. The
-// check is flow-insensitive and function-local by design — it
-// catches the common review miss (a new accessor that forgets the
-// lock entirely), not lock-ordering bugs.
+// guard's type is irrelevant — matching is by receiver name, so
+// sync.Mutex, sync.RWMutex, and the contention-profiled obs.Mutex /
+// obs.RWMutex wrappers all satisfy a guard through their Lock/RLock
+// methods. The check is flow-insensitive and function-local by
+// design — it catches the common review miss (a new accessor that
+// forgets the lock entirely), not lock-ordering bugs.
 package guardedby
 
 import (

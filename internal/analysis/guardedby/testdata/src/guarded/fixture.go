@@ -2,7 +2,11 @@
 // annotated fields accessed correctly and incorrectly.
 package guarded
 
-import "sync"
+import (
+	"sync"
+
+	"sealdb/internal/obs"
+)
 
 type drive struct {
 	mu sync.Mutex
@@ -57,4 +61,47 @@ func (d *drive) bump(delta int64) { d.host += delta }
 // Good: reviewed exception via the directive escape hatch.
 func (d *drive) snapshotUnsafe() int64 {
 	return d.host //sealvet:allow guardedby
+}
+
+// instrumented is the post-migration shape: hot locks are
+// contention-profiled obs wrappers, and their Lock/RLock calls must
+// satisfy guards exactly like sync mutexes do.
+type instrumented struct {
+	mu    obs.Mutex
+	queue []int64 // guarded by mu
+
+	rwmu obs.RWMutex
+	idx  int64 // guarded by rwmu
+}
+
+// Good: obs.Mutex Lock satisfies the guard.
+func (s *instrumented) Pop() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.queue)
+	if n == 0 {
+		return 0
+	}
+	v := s.queue[n-1]
+	s.queue = s.queue[:n-1]
+	return v
+}
+
+// Good: obs.RWMutex RLock satisfies the guard.
+func (s *instrumented) Index() int64 {
+	s.rwmu.RLock()
+	defer s.rwmu.RUnlock()
+	return s.idx
+}
+
+// Bad: an instrumented guard is still a guard.
+func (s *instrumented) racyQueue() int {
+	return len(s.queue) // want "field queue is guarded by mu"
+}
+
+// Bad: wrong wrapper lock held.
+func (s *instrumented) crossLock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx // want "field idx is guarded by rwmu"
 }

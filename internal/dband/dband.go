@@ -22,9 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"sealdb/internal/invariant"
+	"sealdb/internal/obs"
 )
 
 // ErrNoSpace is returned when neither the free list nor the frontier
@@ -59,7 +59,11 @@ type region struct {
 
 // Manager allocates extents on a raw SMR surface.
 type Manager struct {
-	mu sync.Mutex
+	// mu serializes allocator state; profiled as the
+	// "dband_manager_mu" contention site. The obs wrapper's clock is
+	// threaded from outside this package (obs.SetLockClock), keeping
+	// dband inside the noclock determinism contract.
+	mu obs.Mutex
 
 	capacity int64
 	unit     int64 // size-class granularity (one SSTable)
@@ -122,7 +126,7 @@ func New(capacity, unit, guard int64) *Manager {
 	if n > maxClasses {
 		n = maxClasses
 	}
-	return &Manager{
+	m := &Manager{
 		capacity: capacity,
 		unit:     unit,
 		guard:    guard,
@@ -130,6 +134,8 @@ func New(capacity, unit, guard int64) *Manager {
 		byStart:  make(map[int64]*region),
 		byEnd:    make(map[int64]*region),
 	}
+	m.mu.Profile("dband_manager_mu")
+	return m
 }
 
 // SetObserver installs fn to observe allocator events (nil removes

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 	"time"
 
 	"sealdb/internal/dband"
@@ -113,10 +112,11 @@ type DB struct {
 	cache   *sstable.Cache
 	vs      *version.Set
 
-	// reg, journal and metrics are internally synchronized; they are
-	// written once by initObs and safe to use without d.mu.
+	// reg, journal, runtime and metrics are internally synchronized;
+	// they are written once by initObs and safe to use without d.mu.
 	reg     *obs.Registry
 	journal *obs.Journal
+	runtime *obs.RuntimeSampler
 	metrics dbMetrics
 	// tracer is the request tracer (trace.go). Its per-operation
 	// state is serialized by mu (see the field comments there); the
@@ -124,7 +124,10 @@ type DB struct {
 	// need no lock.
 	tracer tracer
 
-	mu        sync.Mutex
+	// mu is the engine's big mutex (ROADMAP's top refactor target);
+	// the obs wrapper profiles its wait/hold times under the
+	// "lsm_db_mu" contention site when lock profiling is on.
+	mu        obs.Mutex
 	tableLRU  []uint64 // open-table recency, most recent last
 	mem       *memtable.MemTable
 	walW      *wal.Writer
@@ -183,6 +186,7 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 		iterPins:  map[uint64]int{},
 		memSeed:   cfg.Seed,
 	}
+	d.mu.Profile("lsm_db_mu")
 	d.mem = memtable.New(d.nextMemSeed())
 	d.initObs()
 

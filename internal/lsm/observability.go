@@ -112,8 +112,38 @@ func (d *DB) initObs() {
 	}
 
 	d.tracer.init(d)
+	d.runtime = obs.NewRuntimeSampler()
+	d.runtime.Register(d.reg)
+	d.registerLockGauges()
 	d.registerGauges()
 	d.installDeviceObservers()
+}
+
+// registerLockGauges bridges the process-global lock-contention
+// profile (obs.Mutex sites) into the registry as aggregate gauges, so
+// /metrics shows at a glance whether lock waits matter; per-site
+// wait/hold histograms live at /debug/contention.
+func (d *DB) registerLockGauges() {
+	reg := d.reg
+	sum := func(pick func(obs.LockSiteSnapshot) int64) float64 {
+		var n int64
+		for _, s := range obs.ContentionProfile() {
+			n += pick(s)
+		}
+		return float64(n)
+	}
+	reg.GaugeFunc("sealdb_lock_acquisitions", func() float64 {
+		return sum(func(s obs.LockSiteSnapshot) int64 { return s.Acquisitions })
+	})
+	reg.GaugeFunc("sealdb_lock_contentions", func() float64 {
+		return sum(func(s obs.LockSiteSnapshot) int64 { return s.Contentions })
+	})
+	reg.GaugeFunc("sealdb_lock_wait_ns", func() float64 {
+		return sum(func(s obs.LockSiteSnapshot) int64 { return s.TotalWaitNS })
+	})
+	reg.GaugeFunc("sealdb_lock_hold_ns", func() float64 {
+		return sum(func(s obs.LockSiteSnapshot) int64 { return s.TotalHoldNS })
+	})
 }
 
 // journalCapacity returns the event-journal ring bound.
@@ -346,11 +376,26 @@ func (d *DB) FaultProfile() FaultProfile {
 	return p
 }
 
+// ContentionProfile reports the process-wide lock-contention profile
+// (every obs.Mutex site, ranked by total wait). Empty histograms mean
+// lock profiling is off — enable it with obs.SetLockProfiling(true)
+// or the /debug/contention?profile=on control.
+func (d *DB) ContentionProfile() []obs.LockSiteSnapshot {
+	return obs.ContentionProfile()
+}
+
+// RuntimeProfile reports Go runtime telemetry (goroutines, GC pauses,
+// scheduler latency, heap sizes), the /debug/runtime payload.
+func (d *DB) RuntimeProfile() obs.RuntimeProfile {
+	return d.runtime.Profile()
+}
+
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text, or JSON with ?format=json), /debug/levels,
-// /debug/sets, /debug/events, /debug/faults, and
-// /debug/amplification. The cmd drivers mount it behind their -serve
-// flag.
+// /debug/sets, /debug/events, /debug/faults, /debug/amplification,
+// /debug/contention (?profile=on|off toggles lock profiling),
+// /debug/runtime, and the /debug/pprof/* suite. The cmd drivers mount
+// it behind their -serve flag.
 func (d *DB) ObsHandler() http.Handler {
 	m := obs.NewMux()
 	m.HandleMetrics("/metrics", d.MetricsSnapshot)
@@ -359,5 +404,8 @@ func (d *DB) ObsHandler() http.Handler {
 	m.HandleJSON("/debug/events", func() any { return d.Events() })
 	m.HandleJSON("/debug/faults", func() any { return d.FaultProfile() })
 	m.HandleJSON("/debug/amplification", func() any { return d.AmplificationProfile() })
+	m.HandleContention("/debug/contention")
+	m.HandleJSON("/debug/runtime", func() any { return d.RuntimeProfile() })
+	m.HandlePprof()
 	return m
 }

@@ -87,6 +87,22 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Reset zeroes the histogram. Concurrent Observes may land on either
+// side of the reset; the result is consistent enough for profiling
+// windows, which is what callers (the lock-site table) use it for.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot.
 type Bucket struct {
 	// UpperBound is the largest value the bucket covers (inclusive).

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation accounting behaves differently there, so the
+// zero-alloc lock hot-path test only runs without it.
+const raceEnabled = true

@@ -1,0 +1,181 @@
+package obs
+
+// Go runtime telemetry bridge: samples runtime/metrics (GC pauses,
+// goroutine count, scheduler latency, heap sizes) into sealdb_runtime_*
+// gauges on a Registry and serves the raw sample set as the
+// /debug/runtime payload. Samples are cached briefly so a /metrics
+// scrape evaluating a dozen gauge functions reads the runtime once.
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime metric names sampled by the bridge. Unknown names (an older
+// or newer runtime) degrade to zero-valued gauges instead of failing.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/sched/latencies:seconds",
+	"/sched/pauses/total/gc:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/goal:bytes",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+}
+
+// runtimeCacheTTL bounds how stale a cached runtime sample may be.
+// One scrape's gauge evaluations share a single read; concurrent
+// scrapes at most double it.
+const runtimeCacheTTL = 100 * time.Millisecond
+
+// RuntimeSampler reads runtime/metrics with short-lived caching and
+// exposes the values as registry gauges and a JSON profile.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample // guarded by mu
+	taken   time.Time        // guarded by mu
+}
+
+// NewRuntimeSampler creates a sampler over the bridge's metric set.
+// The sampler is not shared until this returns, so the seeding writes
+// need no lock.
+func NewRuntimeSampler() *RuntimeSampler {
+	s := &RuntimeSampler{}
+	s.samples = make([]metrics.Sample, len(runtimeSampleNames)) //sealvet:allow guardedby
+	for i, n := range runtimeSampleNames {
+		s.samples[i].Name = n //sealvet:allow guardedby
+	}
+	return s
+}
+
+// refresh re-reads the runtime if the cached sample aged out. Caller
+// holds s.mu.
+func (s *RuntimeSampler) refreshLocked() {
+	if time.Since(s.taken) < runtimeCacheTTL {
+		return
+	}
+	metrics.Read(s.samples)
+	s.taken = time.Now()
+}
+
+// value returns the named sample as a float64 (counts and bytes), or
+// 0 when the runtime does not export it.
+func (s *RuntimeSampler) value(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	for i := range s.samples {
+		if s.samples[i].Name != name {
+			continue
+		}
+		switch s.samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(s.samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			return s.samples[i].Value.Float64()
+		}
+	}
+	return 0
+}
+
+// quantileNS returns the q-th quantile of the named
+// runtime/metrics duration histogram, converted to nanoseconds.
+func (s *RuntimeSampler) quantileNS(name string, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	for i := range s.samples {
+		if s.samples[i].Name != name {
+			continue
+		}
+		if s.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+		return histQuantileSeconds(s.samples[i].Value.Float64Histogram(), q) * 1e9
+	}
+	return 0
+}
+
+// histQuantileSeconds computes a nearest-rank quantile over a
+// runtime/metrics float histogram (bucket boundaries in seconds).
+func histQuantileSeconds(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; report the upper
+			// edge, clamping the open-ended tails to the finite edge.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, +1) {
+				ub = h.Buckets[i]
+			}
+			if math.IsInf(ub, -1) {
+				ub = 0
+			}
+			return ub
+		}
+	}
+	return 0
+}
+
+// Register wires the sampler's gauges into reg. Gauge functions read
+// the shared cached sample, so one snapshot costs one runtime read.
+func (s *RuntimeSampler) Register(reg *Registry) {
+	reg.GaugeFunc("sealdb_runtime_goroutines", func() float64 { return s.value("/sched/goroutines:goroutines") })
+	reg.GaugeFunc("sealdb_runtime_gomaxprocs", func() float64 { return s.value("/sched/gomaxprocs:threads") })
+	reg.GaugeFunc("sealdb_runtime_gc_cycles", func() float64 { return s.value("/gc/cycles/total:gc-cycles") })
+	reg.GaugeFunc("sealdb_runtime_gc_heap_goal_bytes", func() float64 { return s.value("/gc/heap/goal:bytes") })
+	reg.GaugeFunc("sealdb_runtime_heap_objects_bytes", func() float64 { return s.value("/memory/classes/heap/objects:bytes") })
+	reg.GaugeFunc("sealdb_runtime_memory_total_bytes", func() float64 { return s.value("/memory/classes/total:bytes") })
+	reg.GaugeFunc("sealdb_runtime_gc_pause_p50_ns", func() float64 { return s.quantileNS("/sched/pauses/total/gc:seconds", 0.50) })
+	reg.GaugeFunc("sealdb_runtime_gc_pause_p99_ns", func() float64 { return s.quantileNS("/sched/pauses/total/gc:seconds", 0.99) })
+	reg.GaugeFunc("sealdb_runtime_sched_latency_p50_ns", func() float64 { return s.quantileNS("/sched/latencies:seconds", 0.50) })
+	reg.GaugeFunc("sealdb_runtime_sched_latency_p99_ns", func() float64 { return s.quantileNS("/sched/latencies:seconds", 0.99) })
+}
+
+// RuntimeProfile is the /debug/runtime payload.
+type RuntimeProfile struct {
+	Goroutines       int64   `json:"goroutines"`
+	GOMAXPROCS       int64   `json:"gomaxprocs"`
+	GCCycles         int64   `json:"gc_cycles"`
+	GCHeapGoalBytes  int64   `json:"gc_heap_goal_bytes"`
+	HeapObjectsBytes int64   `json:"heap_objects_bytes"`
+	MemoryTotalBytes int64   `json:"memory_total_bytes"`
+	GCPauseP50NS     float64 `json:"gc_pause_p50_ns"`
+	GCPauseP99NS     float64 `json:"gc_pause_p99_ns"`
+	SchedLatencyP50NS float64 `json:"sched_latency_p50_ns"`
+	SchedLatencyP99NS float64 `json:"sched_latency_p99_ns"`
+}
+
+// Profile snapshots the runtime telemetry as one JSON-friendly value.
+func (s *RuntimeSampler) Profile() RuntimeProfile {
+	return RuntimeProfile{
+		Goroutines:        int64(s.value("/sched/goroutines:goroutines")),
+		GOMAXPROCS:        int64(s.value("/sched/gomaxprocs:threads")),
+		GCCycles:          int64(s.value("/gc/cycles/total:gc-cycles")),
+		GCHeapGoalBytes:   int64(s.value("/gc/heap/goal:bytes")),
+		HeapObjectsBytes:  int64(s.value("/memory/classes/heap/objects:bytes")),
+		MemoryTotalBytes:  int64(s.value("/memory/classes/total:bytes")),
+		GCPauseP50NS:      s.quantileNS("/sched/pauses/total/gc:seconds", 0.50),
+		GCPauseP99NS:      s.quantileNS("/sched/pauses/total/gc:seconds", 0.99),
+		SchedLatencyP50NS: s.quantileNS("/sched/latencies:seconds", 0.50),
+		SchedLatencyP99NS: s.quantileNS("/sched/latencies:seconds", 0.99),
+	}
+}

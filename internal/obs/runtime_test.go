@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeSamplerProfile checks the sampled values are coherent
+// with the running process.
+func TestRuntimeSamplerProfile(t *testing.T) {
+	rs := NewRuntimeSampler()
+	p := rs.Profile()
+	if p.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", p.Goroutines)
+	}
+	if p.GOMAXPROCS != int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("gomaxprocs = %d, want %d", p.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if p.MemoryTotalBytes <= 0 {
+		t.Errorf("memory total = %d, want > 0", p.MemoryTotalBytes)
+	}
+	if p.HeapObjectsBytes <= 0 {
+		t.Errorf("heap objects = %d, want > 0", p.HeapObjectsBytes)
+	}
+	if p.GCPauseP50NS < 0 || p.GCPauseP99NS < p.GCPauseP50NS {
+		t.Errorf("gc pause quantiles out of order: p50=%g p99=%g", p.GCPauseP50NS, p.GCPauseP99NS)
+	}
+	if p.SchedLatencyP50NS < 0 || p.SchedLatencyP99NS < p.SchedLatencyP50NS {
+		t.Errorf("sched latency quantiles out of order: p50=%g p99=%g",
+			p.SchedLatencyP50NS, p.SchedLatencyP99NS)
+	}
+}
+
+// TestRuntimeSamplerRegister checks every sealdb_runtime_* gauge lands
+// in the registry snapshot.
+func TestRuntimeSamplerRegister(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeSampler()
+	rs.Register(reg)
+
+	snap := reg.Snapshot()
+	got := map[string]bool{}
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "sealdb_runtime_") {
+			got[name] = true
+		}
+	}
+	want := []string{
+		"sealdb_runtime_goroutines",
+		"sealdb_runtime_gomaxprocs",
+		"sealdb_runtime_gc_cycles",
+		"sealdb_runtime_gc_heap_goal_bytes",
+		"sealdb_runtime_heap_objects_bytes",
+		"sealdb_runtime_memory_total_bytes",
+		"sealdb_runtime_gc_pause_p50_ns",
+		"sealdb_runtime_gc_pause_p99_ns",
+		"sealdb_runtime_sched_latency_p50_ns",
+		"sealdb_runtime_sched_latency_p99_ns",
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("gauge %s missing from registry snapshot", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d sealdb_runtime_ gauges, want %d: %v", len(got), len(want), got)
+	}
+}

@@ -3,6 +3,11 @@ package obs
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
 )
 
 // Mux routes the observability endpoints. It is a thin wrapper over
@@ -43,6 +48,91 @@ func (m *Mux) HandleJSON(path string, fn func() any) {
 	})
 }
 
+// HandleContention serves the lock-contention profile at path, ranked
+// by total wait. Query controls: ?profile=on|off toggles lock
+// profiling process-wide, ?reset=1 zeroes every site before replying
+// — together they bracket a measurement window from curl.
+func (m *Mux) HandleContention(path string) {
+	m.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("profile") {
+		case "on":
+			SetLockProfiling(true)
+		case "off":
+			SetLockProfiling(false)
+		}
+		if r.URL.Query().Get("reset") == "1" {
+			ResetLockProfile()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, struct {
+			Profiling bool               `json:"profiling"`
+			Sites     []LockSiteSnapshot `json:"sites"`
+		}{LockProfilingEnabled(), ContentionProfile()})
+	})
+}
+
+// blockProfileRate mirrors the last rate passed to
+// runtime.SetBlockProfileRate, which has no getter.
+var blockProfileRate atomic.Int64
+
+// SetProfileRates configures the runtime's mutex and block profilers,
+// which feed /debug/pprof/mutex and /debug/pprof/block. mutexFraction
+// samples 1/n of contention events (0 disables, -1 leaves unchanged);
+// blockRate samples blocking events of at least rate nanoseconds
+// (0 disables, -1 leaves unchanged). Returns the effective values.
+func SetProfileRates(mutexFraction, blockRate int) (int, int) {
+	if mutexFraction >= 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRate >= 0 {
+		runtime.SetBlockProfileRate(blockRate)
+		blockProfileRate.Store(int64(blockRate))
+	}
+	return runtime.SetMutexProfileFraction(-1), int(blockProfileRate.Load())
+}
+
+// HandlePprof mounts the net/http/pprof handlers under /debug/pprof/
+// plus /debug/pprof/rates, a small control endpoint: GET shows the
+// mutex profile fraction and block profile rate; ?mutex=N and
+// ?block=N set them, so a profiling session can be dialed up on a
+// live server and back down afterwards.
+func (m *Mux) HandlePprof() {
+	m.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	m.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.mux.HandleFunc("/debug/pprof/rates", func(w http.ResponseWriter, r *http.Request) {
+		mutexFrac, blockRate := -1, -1
+		if v := r.URL.Query().Get("mutex"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				mutexFrac = n
+			}
+		}
+		if v := r.URL.Query().Get("block"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				blockRate = n
+			}
+		}
+		mf, br := SetProfileRates(mutexFrac, blockRate)
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, map[string]int{
+			"mutex_fraction": mf,
+			"block_rate":     br,
+		})
+	})
+}
+
+// Debug-server timeouts. The observability port is plain HTTP with
+// tiny requests: a client that cannot deliver its headers promptly or
+// its whole request within the read timeout is someone holding a
+// connection open (slowloris), not a scraper.
+const (
+	serveReadHeaderTimeout = 5 * time.Second
+	serveReadTimeout       = 30 * time.Second
+	serveIdleTimeout       = 2 * time.Minute
+)
+
 // Server is a running observability HTTP server.
 type Server struct {
 	// Addr is the bound listen address (useful with ":0").
@@ -53,13 +143,24 @@ type Server struct {
 }
 
 // Serve binds addr (host:port; ":0" picks a free port) and serves h
-// on a background goroutine until Close.
+// on a background goroutine until Close. The server carries
+// conservative read and idle timeouts so a stalled client cannot pin
+// the debug port's connections open.
 func Serve(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: ln.Addr(), srv: &http.Server{Handler: h}, ln: ln}
+	s := &Server{
+		Addr: ln.Addr(),
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: serveReadHeaderTimeout,
+			ReadTimeout:       serveReadTimeout,
+			IdleTimeout:       serveIdleTimeout,
+		},
+		ln: ln,
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

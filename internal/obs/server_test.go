@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeTimeouts checks the debug server sets read and idle
+// timeouts so a slowloris client cannot pin connections open.
+func TestServeTimeouts(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: header-dribbling clients hold connections forever")
+	}
+	if s.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: body-dribbling clients hold connections forever")
+	}
+	if s.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections accumulate")
+	}
+}
+
+// TestContentionEndpoint exercises /debug/contention over a real
+// server: toggling profiling via query, reading ranked sites, reset.
+func TestContentionEndpoint(t *testing.T) {
+	m := NewMux()
+	m.HandleContention("/debug/contention")
+	s, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := fmt.Sprintf("http://%s/debug/contention", s.Addr)
+
+	get := func(url string) (bool, []LockSiteSnapshot) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Profiling bool               `json:"profiling"`
+			Sites     []LockSiteSnapshot `json:"sites"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Profiling, body.Sites
+	}
+
+	if on, _ := get(base + "?profile=on"); !on {
+		t.Error("?profile=on did not enable lock profiling")
+	}
+	var mu Mutex
+	mu.Profile("test_endpoint_mu")
+	mu.Lock()
+	mu.Unlock() //nolint:staticcheck // empty critical section on purpose
+	_, sites := get(base)
+	found := false
+	for _, site := range sites {
+		if site.Name == "test_endpoint_mu" && site.Acquisitions > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("profiled acquisition missing from /debug/contention")
+	}
+	if on, _ := get(base + "?profile=off&reset=1"); on {
+		t.Error("?profile=off did not disable lock profiling")
+	}
+	_, sites = get(base)
+	for _, site := range sites {
+		if site.Name == "test_endpoint_mu" && site.Acquisitions != 0 {
+			t.Errorf("?reset=1 left %d acquisitions on %s", site.Acquisitions, site.Name)
+		}
+	}
+}
+
+// TestPprofEndpoints checks the pprof index and the rates control
+// endpoint respond over a real server.
+func TestPprofEndpoints(t *testing.T) {
+	m := NewMux()
+	m.HandlePprof()
+	s, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", s.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(index), "profile") {
+		t.Errorf("pprof index: status=%d body=%.80s", resp.StatusCode, index)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/rates?mutex=7&block=512", s.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates map[string]int
+	err = json.NewDecoder(resp.Body).Decode(&rates)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["mutex_fraction"] != 7 || rates["block_rate"] != 512 {
+		t.Errorf("rates after set = %v, want mutex_fraction=7 block_rate=512", rates)
+	}
+	// Dial both back to zero so profiling cost doesn't leak into other tests.
+	if _, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/rates?mutex=0&block=0", s.Addr)); err != nil {
+		t.Fatal(err)
+	}
+}

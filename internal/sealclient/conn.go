@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sealdb/internal/obs"
 	"sealdb/internal/wire"
 )
 
@@ -68,7 +69,11 @@ type clientConn struct {
 
 	sendCh chan outFrame
 
-	mu      sync.Mutex
+	// mu guards the request-ID/waiter state every in-flight request
+	// touches twice; profiled as the "sealclient_conn_mu" contention
+	// site so the -scale sweep can tell client-side from server-side
+	// lock waits.
+	mu      obs.Mutex
 	nextID  uint64                // guarded by mu
 	waiters map[uint64]chan reply // guarded by mu
 	dead    bool                  // guarded by mu
@@ -99,6 +104,7 @@ func dialConn(addr string, o *Options) (*clientConn, error) {
 		waiters: make(map[uint64]chan reply),
 		done:    make(chan struct{}),
 	}
+	cc.mu.Profile("sealclient_conn_mu")
 	if err := cc.handshake(o); err != nil {
 		nc.Close()
 		return nil, err

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"sealdb/internal/lsm"
+	"sealdb/internal/obs"
 	"sealdb/internal/wire"
 )
 
@@ -132,7 +133,10 @@ type Server struct {
 	commitStop chan struct{}
 	commitWG   sync.WaitGroup
 
-	mu     sync.Mutex
+	// mu guards server state shared between the accept loop, the
+	// committer's stats path, and every connection's teardown;
+	// profiled as the "server_mu" contention site.
+	mu     obs.Mutex
 	conns  map[*conn]struct{} // guarded by mu
 	nextID uint64             // guarded by mu
 	closed bool               // guarded by mu
@@ -155,6 +159,7 @@ func Serve(db *lsm.DB, addr string, cfg Config) (*Server, error) {
 		commitStop: make(chan struct{}),
 		conns:      map[*conn]struct{}{},
 	}
+	s.mu.Profile("server_mu")
 	s.m = newMetrics(db.ObsRegistry(), s)
 	s.commitWG.Add(1)
 	go s.committer()

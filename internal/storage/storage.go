@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync"
 
+	"sealdb/internal/obs"
 	"sealdb/internal/smr"
 )
 
@@ -67,10 +68,14 @@ type Backend struct {
 	// writeMu serializes allocate+write pairs so that the write into
 	// a frontier extent always happens before the next extent is
 	// handed out; otherwise the damage window of a late write could
-	// reach data already landed just past it.
-	writeMu sync.Mutex
+	// reach data already landed just past it. Profiled as the
+	// "storage_write_mu" contention site; the obs wrapper's clock is
+	// threaded from outside this package (obs.SetLockClock), keeping
+	// storage inside the noclock determinism contract.
+	writeMu obs.Mutex
 
-	mu    sync.Mutex
+	// mu guards the mapping table; profiled as "storage_backend_mu".
+	mu    obs.Mutex
 	files map[uint64]*fileInfo // guarded by mu
 	stats BackendStats         // guarded by mu
 }
@@ -89,7 +94,10 @@ type BackendStats struct {
 
 // NewBackend creates a backend over the given drive and policy.
 func NewBackend(drive smr.Drive, alloc Allocator) *Backend {
-	return &Backend{drive: drive, alloc: alloc, files: make(map[uint64]*fileInfo)}
+	b := &Backend{drive: drive, alloc: alloc, files: make(map[uint64]*fileInfo)}
+	b.writeMu.Profile("storage_write_mu")
+	b.mu.Profile("storage_backend_mu")
+	return b
 }
 
 // Drive returns the underlying device.
