@@ -1,0 +1,362 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checker verifies safety properties over a campaign history, one
+// round at a time. The properties, per key:
+//
+//  1. Durability: a write acknowledged OK (or a version some read
+//     already observed — observation implies the WAL record landed)
+//     is never lost: after recovery the key's state never regresses
+//     below the highest acked/observed version ("the floor").
+//  2. No phantoms: a read never returns a value that was never
+//     written — unparseable values, versions never issued, or
+//     versions issued as deletes.
+//  3. Session monotonicity: one client never reads a version older
+//     than one it already observed, nor older than its own acked
+//     writes; NOT_FOUND after observing a value requires an
+//     intervening delete to have been issued.
+//  4. Degraded stickiness: once any client saw DEGRADED in a round,
+//     no later tick's write may succeed until recovery.
+//
+// With RealTime set (the campaign's lockstep mode, where tick
+// boundaries are barriers), checks 1–3 use the global cross-client
+// floor: an ack or observation in tick t happened-before every op in
+// tick t+1. Without it (free-running stress mode) only per-client
+// session checks and phantom checks apply, since cross-client
+// ordering is unknown.
+//
+// Fate-unknown outcomes (conn, timeout, unavailable) assert nothing:
+// such a write may or may not have applied, so it widens the legal
+// window instead of constraining it.
+type Checker struct {
+	// RealTime enables the cross-client checks that rely on tick
+	// barriers. NewChecker sets it.
+	RealTime bool
+
+	keys map[string]*keyState
+	// seen is each worker's session floor: the highest version of a
+	// key the worker has observed (reads) or had acked (its writes).
+	seen map[int]map[string]int64
+}
+
+// keyState is the checker's per-key bookkeeping, persistent across
+// rounds.
+type keyState struct {
+	n     int64            // highest version issued
+	kinds map[int64]OpKind // version -> KindPut/KindDelete
+
+	// The durable floor: state at floorVer is known applied and
+	// durable (acked, observed, or recovered). floorPresent is the
+	// state's polarity: true = value floorVer present, false =
+	// deleted as of floorVer.
+	floorVer     int64
+	floorPresent bool
+}
+
+// NewChecker returns a checker for lockstep (RealTime) histories.
+func NewChecker() *Checker {
+	return &Checker{
+		RealTime: true,
+		keys:     map[string]*keyState{},
+		seen:     map[int]map[string]int64{},
+	}
+}
+
+// Check runs a fresh checker over a whole history.
+func Check(h *History) []Violation {
+	c := NewChecker()
+	var out []Violation
+	for i := range h.Rounds {
+		out = append(out, c.CheckRound(&h.Rounds[i])...)
+	}
+	return out
+}
+
+func (c *Checker) key(k string) *keyState {
+	ks := c.keys[k]
+	if ks == nil {
+		ks = &keyState{kinds: map[int64]OpKind{}}
+		c.keys[k] = ks
+	}
+	return ks
+}
+
+func (c *Checker) workerSeen(w int) map[string]int64 {
+	m := c.seen[w]
+	if m == nil {
+		m = map[string]int64{}
+		c.seen[w] = m
+	}
+	return m
+}
+
+// register records a write invocation. Versions must be issued in
+// strictly increasing order per key; the campaign runner guarantees
+// contiguity, the checker only requires monotonicity.
+func (c *Checker) register(op *Op) *Violation {
+	ks := c.key(op.Key)
+	if op.Version <= ks.n {
+		v := violation(op, "phantom",
+			fmt.Sprintf("write issued version %d but %d was already issued", op.Version, ks.n))
+		return &v
+	}
+	ks.n = op.Version
+	ks.kinds[op.Version] = op.Kind
+	return nil
+}
+
+// hasDeleteAfter reports whether any version in (after, n] is a
+// delete.
+func (ks *keyState) hasDeleteAfter(after int64) bool {
+	for v := after + 1; v <= ks.n; v++ {
+		if ks.kinds[v] == KindDelete {
+			return true
+		}
+	}
+	return false
+}
+
+func violation(op *Op, kind, detail string) Violation {
+	return Violation{Round: -1, Tick: op.Tick, Worker: op.Worker, Key: op.Key, Kind: kind, Detail: detail}
+}
+
+// CheckRound verifies one round against the state accumulated from
+// earlier rounds, updating that state (floors advance with acks,
+// observations, and the recovered snapshot). Violations are returned
+// in deterministic order.
+func (c *Checker) CheckRound(r *Round) []Violation {
+	var out []Violation
+	report := func(v Violation) {
+		v.Round = r.Round
+		out = append(out, v)
+	}
+
+	ops := make([]*Op, len(r.Ops))
+	for i := range r.Ops {
+		ops[i] = &r.Ops[i]
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		a, b := ops[i], ops[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		return a.Seq < b.Seq
+	})
+
+	// Degraded stickiness: the first tick where any client saw
+	// DEGRADED; OK writes in strictly later ticks violate it (same
+	// tick is concurrent, so ordering is undefined there).
+	firstDegraded := -1
+	for _, op := range ops {
+		if op.Outcome == OutcomeDegraded {
+			firstDegraded = op.Tick
+			break
+		}
+	}
+
+	if !c.RealTime {
+		// Without barriers, tick numbers carry no ordering: register
+		// every write up front so phantom checks see the full issued
+		// set, and skip the cross-client floor checks below.
+		for _, op := range ops {
+			if op.Kind == KindPut || op.Kind == KindDelete {
+				if v := c.register(op); v != nil {
+					report(*v)
+				}
+			}
+		}
+	}
+
+	// Walk ticks in order: register writes, validate reads, then
+	// advance floors with the tick's acks and observations (they
+	// happened-before everything in later ticks).
+	i := 0
+	for i < len(ops) {
+		j := i
+		tick := ops[i].Tick
+		for j < len(ops) && ops[j].Tick == tick {
+			j++
+		}
+		tickOps := ops[i:j]
+		i = j
+
+		if c.RealTime {
+			for _, op := range tickOps {
+				if op.Kind == KindPut || op.Kind == KindDelete {
+					if v := c.register(op); v != nil {
+						report(*v)
+					}
+				}
+			}
+		}
+
+		for _, op := range tickOps {
+			switch op.Kind {
+			case KindGet:
+				if v := c.checkRead(op); v != nil {
+					report(*v)
+				}
+			case KindPut, KindDelete:
+				if op.Outcome == OutcomeOK && firstDegraded >= 0 && op.Tick > firstDegraded {
+					report(violation(op, "degraded-unsticky",
+						fmt.Sprintf("write version %d succeeded after DEGRADED was observed at tick %d", op.Version, firstDegraded)))
+				}
+			}
+		}
+
+		// Advance floors at the tick barrier.
+		for _, op := range tickOps {
+			switch {
+			case op.Kind == KindGet && op.Outcome == OutcomeOK && op.Version > 0:
+				// A phantom observation (version never issued as a
+				// put) is already flagged; it must not poison the
+				// floors and cascade into spurious violations.
+				ks := c.key(op.Key)
+				if op.Version > ks.n || ks.kinds[op.Version] != KindPut {
+					break
+				}
+				ws := c.workerSeen(op.Worker)
+				if op.Version > ws[op.Key] {
+					ws[op.Key] = op.Version
+				}
+				if c.RealTime && op.Version > ks.floorVer {
+					ks.floorVer, ks.floorPresent = op.Version, true
+				}
+			case (op.Kind == KindPut || op.Kind == KindDelete) && op.Outcome == OutcomeOK:
+				ws := c.workerSeen(op.Worker)
+				if op.Version > ws[op.Key] {
+					ws[op.Key] = op.Version
+				}
+				if c.RealTime {
+					ks := c.key(op.Key)
+					if op.Version > ks.floorVer {
+						ks.floorVer, ks.floorPresent = op.Version, op.Kind == KindPut
+					}
+				}
+			}
+		}
+	}
+
+	out = append(out, c.checkRecovered(r)...)
+	return out
+}
+
+// checkRead validates one completed GET against the floors.
+func (c *Checker) checkRead(op *Op) *Violation {
+	ks := c.keys[op.Key]
+	switch op.Outcome {
+	case OutcomeOK:
+		if op.Version < 0 {
+			v := violation(op, "phantom", "read returned a value that does not parse as a campaign value: "+op.Note)
+			return &v
+		}
+		if ks == nil || op.Version == 0 || op.Version > ks.n {
+			v := violation(op, "phantom",
+				fmt.Sprintf("read returned version %d, never issued for this key", op.Version))
+			return &v
+		}
+		if ks.kinds[op.Version] != KindPut {
+			v := violation(op, "phantom",
+				fmt.Sprintf("read returned version %d, which was issued as a delete", op.Version))
+			return &v
+		}
+		if seen := c.workerSeen(op.Worker)[op.Key]; op.Version < seen {
+			v := violation(op, "session",
+				fmt.Sprintf("read returned version %d but this client already observed %d", op.Version, seen))
+			return &v
+		}
+		if c.RealTime && op.Version < ks.floorVer {
+			v := violation(op, "stale",
+				fmt.Sprintf("read returned version %d below the acked/observed floor %d", op.Version, ks.floorVer))
+			return &v
+		}
+	case OutcomeNotFound:
+		if ks == nil {
+			return nil // never written: NOT_FOUND is the only right answer
+		}
+		// seen-1: the session floor itself may be a delete the client
+		// had acked, which makes NOT_FOUND consistent.
+		if seen := c.workerSeen(op.Worker)[op.Key]; seen > 0 && !ks.hasDeleteAfter(seen-1) {
+			v := violation(op, "session",
+				fmt.Sprintf("NOT_FOUND but this client observed version %d and no delete >= it was issued", seen))
+			return &v
+		}
+		if c.RealTime && ks.floorPresent && !ks.hasDeleteAfter(ks.floorVer) {
+			v := violation(op, "stale",
+				fmt.Sprintf("NOT_FOUND but version %d is acked/observed durable and no later delete was issued", ks.floorVer))
+			return &v
+		}
+	}
+	return nil
+}
+
+// checkRecovered validates the post-recovery snapshot and collapses
+// each key's floor onto the recovered state (disk state only moves
+// forward: a later round may not resurrect anything older).
+func (c *Checker) checkRecovered(r *Round) []Violation {
+	if r.Recovered == nil {
+		return nil
+	}
+	var out []Violation
+	keys := make([]string, 0, len(r.Recovered))
+	for k := range r.Recovered {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lastTick := 0
+	for i := range r.Ops {
+		if r.Ops[i].Tick > lastTick {
+			lastTick = r.Ops[i].Tick
+		}
+	}
+	for _, k := range keys {
+		st := r.Recovered[k]
+		ks := c.keys[k]
+		rep := func(kind, detail string) {
+			out = append(out, Violation{Round: r.Round, Tick: lastTick, Worker: -1, Key: k, Kind: kind, Detail: detail})
+		}
+		if ks == nil {
+			if st.Present {
+				rep("recovery-phantom", fmt.Sprintf("recovery found version %d for a key never written", st.Version))
+			}
+			continue
+		}
+		if st.Present {
+			switch {
+			case st.Version <= 0 || st.Version > ks.n:
+				rep("recovery-phantom", fmt.Sprintf("recovery found version %d, never issued", st.Version))
+			case ks.kinds[st.Version] != KindPut:
+				rep("recovery-phantom", fmt.Sprintf("recovery found version %d, which was issued as a delete", st.Version))
+			case st.Version < ks.floorVer:
+				rep("durability", fmt.Sprintf("recovery found version %d but version %d was acked/observed durable", st.Version, ks.floorVer))
+			default:
+				ks.floorVer, ks.floorPresent = st.Version, true
+			}
+			continue
+		}
+		// Key absent after recovery.
+		if ks.floorPresent {
+			if !ks.hasDeleteAfter(ks.floorVer) {
+				rep("durability", fmt.Sprintf("acked/observed version %d lost: key absent after recovery with no later delete issued", ks.floorVer))
+				continue
+			}
+			// The earliest delete past the floor is the most
+			// conservative consistent explanation; pin the floor there
+			// so a later round resurrecting older state is caught.
+			for v := ks.floorVer + 1; v <= ks.n; v++ {
+				if ks.kinds[v] == KindDelete {
+					ks.floorVer, ks.floorPresent = v, false
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// ops below use worker 0 as the writer of key "k" and worker 1 as a
+// reader, mirroring the campaign's single-writer-per-key sharding.
+
+func put(tick, seq int, ver int64, o Outcome) Op {
+	return Op{Tick: tick, Worker: 0, Seq: seq, Kind: KindPut, Key: "k", Version: ver, Outcome: o}
+}
+
+func del(tick, seq int, ver int64, o Outcome) Op {
+	return Op{Tick: tick, Worker: 0, Seq: seq, Kind: KindDelete, Key: "k", Version: ver, Outcome: o}
+}
+
+func get(tick, worker int, ver int64, o Outcome) Op {
+	return Op{Tick: tick, Worker: worker, Kind: KindGet, Key: "k", Version: ver, Outcome: o}
+}
+
+func round(n int, crashed bool, recovered RecoveredState, ops ...Op) Round {
+	return Round{
+		Round: n, Kind: "test", Crashed: crashed, Ops: ops,
+		Recovered: map[string]RecoveredState{"k": recovered},
+	}
+}
+
+// wantViolation asserts exactly one violation of the given kind.
+func wantViolation(t *testing.T, got []Violation, kind, detailPart string) {
+	t.Helper()
+	if len(got) != 1 {
+		t.Fatalf("got %d violations %v, want exactly 1 of kind %q", len(got), got, kind)
+	}
+	if got[0].Kind != kind {
+		t.Fatalf("violation kind = %q (%s), want %q", got[0].Kind, got[0], kind)
+	}
+	if !strings.Contains(got[0].Detail, detailPart) {
+		t.Fatalf("violation detail %q does not mention %q", got[0].Detail, detailPart)
+	}
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, false, RecoveredState{Present: true, Version: 2},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeOK),
+			get(2, 1, 2, OutcomeOK),
+		),
+		round(1, true, RecoveredState{Present: true, Version: 3},
+			get(0, 1, 2, OutcomeOK),
+			put(1, 0, 3, OutcomeOK),
+			put(2, 0, 4, OutcomeConn), // fate unknown: lost is legal
+		),
+	}}
+	if got := Check(h); len(got) != 0 {
+		t.Fatalf("clean history flagged: %v", got)
+	}
+}
+
+func TestUnknownFateWriteMayApply(t *testing.T) {
+	// A conn-failed write may still have committed; recovering it is
+	// legal, as is a later read observing it.
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: true, Version: 2},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeConn),
+		),
+		round(1, false, RecoveredState{Present: true, Version: 2},
+			get(0, 1, 2, OutcomeOK),
+		),
+	}}
+	if got := Check(h); len(got) != 0 {
+		t.Fatalf("unknown-fate apply flagged: %v", got)
+	}
+}
+
+func TestAckedWriteLostIsDurabilityViolation(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: true, Version: 1},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeOK), // acked but recovery shows v1
+		),
+	}}
+	wantViolation(t, Check(h), "durability", "version 2 was acked")
+}
+
+func TestAckedPutVanishingIsDurabilityViolation(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: false},
+			put(0, 0, 1, OutcomeOK),
+		),
+	}}
+	wantViolation(t, Check(h), "durability", "version 1 lost")
+}
+
+func TestAckedDeleteDurableAbsenceIsLegal(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: false},
+			put(0, 0, 1, OutcomeOK),
+			del(1, 0, 2, OutcomeOK),
+		),
+	}}
+	if got := Check(h); len(got) != 0 {
+		t.Fatalf("acked delete flagged: %v", got)
+	}
+}
+
+func TestPhantomValueIsFlagged(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, false, RecoveredState{Present: true, Version: 1},
+			put(0, 0, 1, OutcomeOK),
+			get(1, 1, 7, OutcomeOK), // version 7 never issued
+		),
+	}}
+	wantViolation(t, Check(h), "phantom", "never issued")
+}
+
+func TestUnparseableValueIsFlagged(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, false, RecoveredState{Present: true, Version: 1},
+			put(0, 0, 1, OutcomeOK),
+			Op{Tick: 1, Worker: 1, Kind: KindGet, Key: "k", Version: -1, Outcome: OutcomeOK, Note: "garbage"},
+		),
+	}}
+	wantViolation(t, Check(h), "phantom", "does not parse")
+}
+
+func TestStaleReadBelowAckedFloorIsFlagged(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, false, RecoveredState{Present: true, Version: 2},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeOK),
+			get(2, 1, 1, OutcomeOK), // v2 acked a tick earlier
+		),
+	}}
+	wantViolation(t, Check(h), "stale", "below the acked")
+}
+
+func TestSessionMonotonicityRegressionIsFlagged(t *testing.T) {
+	// Reader observes v2, then v1: a session regression even if some
+	// other replica could legally serve v1.
+	c := NewChecker()
+	c.RealTime = false // isolate the session check from the global floor
+	r := round(0, false, RecoveredState{Present: true, Version: 2},
+		put(0, 0, 1, OutcomeOK),
+		put(1, 0, 2, OutcomeOK),
+		get(2, 1, 2, OutcomeOK),
+		get(3, 1, 1, OutcomeOK),
+	)
+	wantViolation(t, c.CheckRound(&r), "session", "already observed 2")
+}
+
+func TestNotFoundAfterObservationNeedsDelete(t *testing.T) {
+	c := NewChecker()
+	c.RealTime = false
+	r := round(0, false, RecoveredState{Present: true, Version: 1},
+		put(0, 0, 1, OutcomeOK),
+		get(1, 1, 1, OutcomeOK),
+		get(2, 1, 0, OutcomeNotFound), // no delete was ever issued
+	)
+	wantViolation(t, c.CheckRound(&r), "session", "no delete")
+}
+
+func TestNotFoundWithInterveningDeleteIsLegal(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, false, RecoveredState{Present: false},
+			put(0, 0, 1, OutcomeOK),
+			get(1, 1, 1, OutcomeOK),
+			del(2, 0, 2, OutcomeOK),
+			get(3, 1, 0, OutcomeNotFound),
+		),
+	}}
+	if got := Check(h); len(got) != 0 {
+		t.Fatalf("legal NOT_FOUND flagged: %v", got)
+	}
+}
+
+func TestDegradedStickinessViolation(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: true, Version: 3},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeDegraded), // store declared itself degraded...
+			put(2, 0, 3, OutcomeOK),       // ...then accepted a later write
+		),
+	}}
+	wantViolation(t, Check(h), "degraded-unsticky", "after DEGRADED")
+}
+
+func TestDegradedStaysDegradedIsLegal(t *testing.T) {
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: true, Version: 1},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeDegraded),
+			put(2, 0, 3, OutcomeDegraded),
+			get(3, 1, 1, OutcomeOK), // reads still work while degraded
+		),
+	}}
+	if got := Check(h); len(got) != 0 {
+		t.Fatalf("sticky degraded flagged: %v", got)
+	}
+}
+
+func TestRecoveryPhantomIsFlagged(t *testing.T) {
+	h := &History{Rounds: []Round{
+		{
+			Round: 0, Kind: "test", Crashed: true,
+			Ops: []Op{put(0, 0, 1, OutcomeOK)},
+			Recovered: map[string]RecoveredState{
+				"k":     {Present: true, Version: 1},
+				"other": {Present: true, Version: 5}, // never written
+			},
+		},
+	}}
+	wantViolation(t, Check(h), "recovery-phantom", "never written")
+}
+
+func TestStateMayNotRegressAcrossLaterRounds(t *testing.T) {
+	// Round 0 recovers v2 (both acked). Round 1 has no writes; its
+	// recovery reports v1 — stale state resurrected.
+	h := &History{Rounds: []Round{
+		round(0, true, RecoveredState{Present: true, Version: 2},
+			put(0, 0, 1, OutcomeOK),
+			put(1, 0, 2, OutcomeOK),
+		),
+		round(1, true, RecoveredState{Present: true, Version: 1},
+			get(0, 1, 2, OutcomeOK),
+		),
+	}}
+	wantViolation(t, Check(h), "durability", "version 2 was acked")
+}
+
+func TestCanonicalEncodingIsStable(t *testing.T) {
+	h := &History{Seed: 7, Clients: 2, Ticks: 3, Faults: "all", Rounds: []Round{
+		round(0, false, RecoveredState{Present: true, Version: 1}, put(0, 0, 1, OutcomeOK)),
+	}}
+	a, err := h.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("canonical encoding not stable across calls")
+	}
+	h1, err := h.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := h.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hash unstable or malformed: %q vs %q", h1, h2)
+	}
+}

@@ -1,0 +1,154 @@
+// Package history is the chaos harness's record of truth and its
+// safety checker. It depends only on the standard library — no engine,
+// no wire, no fault injectors — so a recorded campaign can be checked
+// (or re-checked offline) without trusting any of the code under test.
+//
+// The model: a campaign is a sequence of rounds; each round is a
+// sequence of lockstep ticks in which concurrent workers invoke
+// operations against the store, and ends with a crash or graceful
+// shutdown followed by recovery. Timestamps are logical — (tick,
+// worker, seq) — so two runs of the same seed produce byte-identical
+// histories regardless of wall-clock jitter.
+//
+// Every written value is tagged writer+key+version by the campaign
+// runner, versions strictly increasing per key (puts and deletes both
+// consume a version). That turns safety checking into bookkeeping on
+// version numbers; see check.go for the properties.
+package history
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Outcome classifies how the client observed one operation complete.
+type Outcome string
+
+const (
+	// OutcomeOK: the server acknowledged success (for a read: a value
+	// arrived and parsed as a tagged campaign value).
+	OutcomeOK Outcome = "ok"
+	// OutcomeNotFound: GET answered NOT_FOUND.
+	OutcomeNotFound Outcome = "notfound"
+	// OutcomeDegraded: the server rejected the op as read-only
+	// degraded. Sticky until recovery (a checked property).
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeCorrupt: the server reported on-media corruption.
+	OutcomeCorrupt Outcome = "corrupt"
+	// OutcomeConn: transport-level failure; the op's fate at the
+	// server is unknown (it may or may not have applied).
+	OutcomeConn Outcome = "conn"
+	// OutcomeTimeout: per-request timeout; fate unknown.
+	OutcomeTimeout Outcome = "timeout"
+	// OutcomeUnavailable: the server refused the op (full/shutting
+	// down); treated as fate-unknown for writes.
+	OutcomeUnavailable Outcome = "unavailable"
+	// OutcomeClosed: client or remote store closed.
+	OutcomeClosed Outcome = "closed"
+	// OutcomeError: any other server-reported failure.
+	OutcomeError Outcome = "error"
+)
+
+// OpKind is the operation type.
+type OpKind string
+
+const (
+	// KindPut writes one tagged value.
+	KindPut OpKind = "put"
+	// KindDelete writes a tombstone (consumes a version like a put).
+	KindDelete OpKind = "del"
+	// KindGet reads one key.
+	KindGet OpKind = "get"
+)
+
+// Op is one invoked operation. Logical time is (Tick, Worker, Seq):
+// ops in the same tick ran concurrently; tick boundaries are barriers
+// (every op of tick t completed before any op of tick t+1 started).
+type Op struct {
+	Tick   int `json:"t"`
+	Worker int `json:"w"`
+	// Seq orders ops issued by one worker within a tick (a writer's
+	// burst is sequential).
+	Seq  int    `json:"s"`
+	Kind OpKind `json:"k"`
+	Key  string `json:"key"`
+	// Version: for writes, the per-key version this op was issued
+	// (assigned at invoke, recorded whatever the outcome). For
+	// OutcomeOK reads, the version parsed from the returned value;
+	// -1 marks a value that failed to parse or mismatched its key
+	// (always a violation). 0 on NotFound reads.
+	Version int64   `json:"v,omitempty"`
+	Outcome Outcome `json:"o"`
+	// Note carries free-form diagnostic detail (e.g. the raw bytes of
+	// an unparseable value, or the error string of OutcomeError).
+	Note string `json:"note,omitempty"`
+}
+
+// RecoveredState is one key's state read back directly from the
+// engine after a round's crash/close + recovery.
+type RecoveredState struct {
+	Present bool  `json:"present"`
+	Version int64 `json:"v,omitempty"`
+}
+
+// Round is one campaign round: its ops, how it ended, and what
+// recovery found.
+type Round struct {
+	Round int `json:"round"`
+	// Kind names the round's fault plan: graceful, crash, net, disk,
+	// flip.
+	Kind string `json:"kind"`
+	// Crashed: the round ended with a simulated power cut (true) or a
+	// graceful close (false) before recovery.
+	Crashed bool `json:"crashed"`
+	Ops     []Op `json:"ops"`
+	// Recovered maps every key the campaign has ever written to the
+	// state the reopened engine reported for it.
+	Recovered map[string]RecoveredState `json:"recovered"`
+}
+
+// History is a full campaign record.
+type History struct {
+	Seed    int64   `json:"seed"`
+	Clients int     `json:"clients"`
+	Ticks   int     `json:"ticks"`
+	Faults  string  `json:"faults"`
+	Rounds  []Round `json:"rounds"`
+}
+
+// Canonical returns the history's canonical JSON encoding: indented,
+// map keys sorted (encoding/json sorts them), no wall-clock content —
+// two same-seed runs must produce identical bytes.
+func (h *History) Canonical() ([]byte, error) {
+	return json.MarshalIndent(h, "", " ")
+}
+
+// Hash returns the SHA-256 of the canonical encoding, the one-line
+// fingerprint sealdb-chaos prints for replay comparison.
+func (h *History) Hash() (string, error) {
+	b, err := h.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Violation is one checker finding.
+type Violation struct {
+	Round  int    `json:"round"`
+	Tick   int    `json:"tick"`
+	Worker int    `json:"worker"`
+	Key    string `json:"key,omitempty"`
+	// Kind: durability, phantom, stale, session, degraded-unsticky,
+	// recovery-phantom.
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d tick %d worker %d key %s: %s: %s",
+		v.Round, v.Tick, v.Worker, v.Key, v.Kind, v.Detail)
+}

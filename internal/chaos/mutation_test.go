@@ -1,0 +1,39 @@
+//go:build sealdb_chaos_mutation
+
+package chaos
+
+import (
+	"testing"
+
+	"sealdb/internal/chaos/history"
+)
+
+// TestMutationAckBeforeCommitIsCaught is the checker's self-test.
+// Built under the sealdb_chaos_mutation tag, the server acknowledges
+// writes before the commit group reaches the WAL (see
+// internal/server/mutation_on.go) — the classic durability bug. A
+// crash round must then surface acked-but-lost writes, and the
+// checker must flag them as durability violations. If this test
+// fails, the harness is blind and its green runs mean nothing.
+func TestMutationAckBeforeCommitIsCaught(t *testing.T) {
+	h, err := Run(Config{
+		Seed: 42, Rounds: 2, Clients: 3, Ticks: 9,
+		Burst: 5, KeysPerWorker: 6, ValueSize: 256,
+		Faults: FaultSet{Crash: true}, // round 0 graceful, round 1 crash
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	violations := history.Check(h)
+	durability := 0
+	for _, v := range violations {
+		if v.Kind == "durability" {
+			durability++
+		}
+	}
+	if durability == 0 {
+		t.Fatalf("ack-before-commit mutation went undetected (%d violations, none durability): %v",
+			len(violations), violations)
+	}
+	t.Logf("checker caught the mutation: %d durability violations (of %d total)", durability, len(violations))
+}

@@ -1,0 +1,238 @@
+package netfault
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes whole frames back,
+// counting the frames it received.
+type echoServer struct {
+	ln       net.Listener
+	received atomic.Int64
+}
+
+func newEchoServer(t *testing.T) *echoServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ln: ln}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				var hdr [4]byte
+				for {
+					if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+						return
+					}
+					n := binary.LittleEndian.Uint32(hdr[:])
+					body := make([]byte, n)
+					if _, err := io.ReadFull(nc, body); err != nil {
+						return
+					}
+					s.received.Add(1)
+					if _, err := nc.Write(hdr[:]); err != nil {
+						return
+					}
+					if _, err := nc.Write(body); err != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+// frame builds one length-prefixed frame with the given body.
+func frame(body []byte) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	return append(out, body...)
+}
+
+// sendFrame writes one frame and reads back the echoed reply.
+func sendFrame(t *testing.T, nc net.Conn, body []byte) ([]byte, error) {
+	t.Helper()
+	if _, err := nc.Write(frame(body)); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	got := make([]byte, n)
+	if _, err := io.ReadFull(nc, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func newProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := Listen(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestForwardsFramesUnchanged(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	for i := 0; i < 5; i++ {
+		body := []byte{byte(i), 0xAA, byte(i)}
+		got, err := sendFrame(t, nc, body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != string(body) {
+			t.Fatalf("frame %d echoed %x, want %x", i, got, body)
+		}
+	}
+	st := p.Stats()
+	if st.FramesUp != 5 || st.FramesDn != 5 || st.Conns != 1 {
+		t.Fatalf("stats = %+v, want 5 up / 5 down / 1 conn", st)
+	}
+}
+
+func TestDelayHoldsFrame(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	const hold = 50 * time.Millisecond
+	p.Arm(ToServer, Fault{Kind: Delay, Delay: hold})
+	start := time.Now()
+	if _, err := sendFrame(t, nc, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < hold {
+		t.Fatalf("round trip took %v, want >= %v", elapsed, hold)
+	}
+	if st := p.Stats(); st.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestDropNeverReachesServer(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	if _, err := sendFrame(t, nc, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	p.Arm(ToServer, Fault{Kind: Drop})
+	if _, err := sendFrame(t, nc, []byte("lost")); err == nil {
+		t.Fatal("dropped frame still produced a reply")
+	}
+	if got := srv.received.Load(); got != 1 {
+		t.Fatalf("server received %d frames, want 1 (the dropped one must not arrive)", got)
+	}
+	if st := p.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}
+
+func TestTruncateTearsReply(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	p.Arm(ToClient, Fault{Kind: Truncate, Bytes: 6})
+	if _, err := nc.Write(frame([]byte("torn-reply"))); err != nil {
+		t.Fatal(err)
+	}
+	// The reply frame is 4+10 bytes; only 6 arrive before EOF.
+	got, err := io.ReadAll(nc)
+	if err != nil {
+		t.Fatalf("draining truncated reply: %v", err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("received %d bytes of truncated reply, want 6", len(got))
+	}
+	if st := p.Stats(); st.Truncates != 1 {
+		t.Fatalf("truncates = %d, want 1", st.Truncates)
+	}
+}
+
+func TestResetAbortsClient(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	p.Arm(ToServer, Fault{Kind: Reset})
+	if _, err := nc.Write(frame([]byte("rst"))); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err := nc.Read(buf)
+	if err == nil {
+		t.Fatal("read after reset succeeded")
+	}
+	if errors.Is(err, io.EOF) {
+		// A linger-0 close should surface as ECONNRESET, not clean
+		// EOF; tolerate platform variance but log it.
+		t.Logf("reset surfaced as EOF on this platform")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestKillAllPartitionsButAllowsRedial(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	if _, err := sendFrame(t, nc, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	p.KillAll()
+	if _, err := sendFrame(t, nc, []byte("dead")); err == nil {
+		t.Fatal("frame on killed connection still produced a reply")
+	}
+	nc2 := dialProxy(t, p)
+	if _, err := sendFrame(t, nc2, []byte("back")); err != nil {
+		t.Fatalf("redial through proxy after KillAll: %v", err)
+	}
+}
+
+func TestArmedFaultsFireInFIFOOrder(t *testing.T) {
+	srv := newEchoServer(t)
+	p := newProxy(t, srv.ln.Addr().String())
+	nc := dialProxy(t, p)
+	p.Arm(ToServer, Fault{Kind: Delay, Delay: time.Millisecond})
+	p.Arm(ToServer, Fault{Kind: Drop})
+	if _, err := sendFrame(t, nc, []byte("delayed")); err != nil {
+		t.Fatalf("first armed fault should be the delay: %v", err)
+	}
+	if _, err := sendFrame(t, nc, []byte("dropped")); err == nil {
+		t.Fatal("second armed fault should be the drop")
+	}
+	st := p.Stats()
+	if st.Delays != 1 || st.Drops != 1 {
+		t.Fatalf("stats = %+v, want one delay and one drop", st)
+	}
+}

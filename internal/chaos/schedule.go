@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"sealdb/internal/chaos/history"
+	"sealdb/internal/chaos/netfault"
+	"sealdb/internal/faultfs"
+)
+
+// plannedOp is one scheduled operation, identified by key-shard
+// coordinates. Versions are assigned later, in issue order (see
+// runner.materialize).
+type plannedOp struct {
+	kind   history.OpKind
+	owner  int
+	keyIdx int
+}
+
+// netPlan arms one network fault on one worker's proxy at the tick
+// barrier.
+type netPlan struct {
+	worker int
+	dir    netfault.Direction
+	fault  netfault.Fault
+}
+
+// tickPlan is one lockstep tick: each worker's sequential ops plus
+// whatever faults the barrier arms before the tick starts.
+type tickPlan struct {
+	ops  [][]plannedOp // indexed by worker
+	net  *netPlan
+	disk *faultfs.Rule
+	// cutAfter > 0 arms a power cut tearing the cutAfter-th device
+	// write of the tick. Only set on solo-writer ticks, and always
+	// <= Burst, so the cut fires inside the sequential burst — never
+	// while a concurrent reader could race the write counter.
+	cutAfter int64
+}
+
+// roundPlan is one round's full schedule.
+type roundPlan struct {
+	kind  string
+	crash bool
+	flip  bool
+
+	// Raw rng draws for the flip target, resolved against the live
+	// table set at round start (see runner.applyFlip): the table set
+	// is state-dependent, but the state itself is deterministic.
+	flipSel, flipDelta int64
+	flipBit            uint
+
+	ticks []tickPlan
+}
+
+// roundKinds lists the kinds a campaign cycles through: a graceful
+// baseline round first, then one round per enabled fault class.
+func roundKinds(f FaultSet) []string {
+	kinds := []string{"graceful"}
+	if f.Crash {
+		kinds = append(kinds, "crash")
+	}
+	if f.Net {
+		kinds = append(kinds, "net")
+	}
+	if f.Disk {
+		kinds = append(kinds, "disk")
+	}
+	if f.Flip {
+		kinds = append(kinds, "flip")
+	}
+	return kinds
+}
+
+// buildPlan derives one round's schedule from the campaign seed
+// alone. Every rng draw below happens in a fixed order, so the plan
+// is a pure function of (Config, round).
+func buildPlan(cfg *Config, round int) *roundPlan {
+	kinds := roundKinds(cfg.Faults)
+	kind := kinds[round%len(kinds)]
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*104729))
+	p := &roundPlan{kind: kind, crash: kind == "crash", flip: kind == "flip"}
+	if p.flip {
+		p.flipSel = rng.Int63()
+		p.flipDelta = rng.Int63()
+		p.flipBit = uint(rng.Intn(8))
+	}
+	cutTick := -1
+	if p.crash {
+		cutTick = cfg.Ticks / 2
+	}
+	for t := 0; t < cfg.Ticks; t++ {
+		tp := tickPlan{ops: make([][]plannedOp, cfg.Clients)}
+		switch {
+		case kind == "disk" && (t == cfg.Ticks/3 || t == 2*cfg.Ticks/3):
+			// Solo victim tick: exactly one write meets the injected
+			// device error, so which op eats the fault is fixed. The
+			// first fault tick is transient — the engine's write retry
+			// must absorb it end to end. The second is permanent — the
+			// store must go degraded and stay there for the rest of
+			// the round (a checked property).
+			victim := rng.Intn(cfg.Clients)
+			tp.ops[victim] = []plannedOp{{kind: history.KindPut, owner: victim, keyIdx: rng.Intn(cfg.KeysPerWorker)}}
+			tp.disk = &faultfs.Rule{Op: faultfs.OpWrite, Count: 1, Temporary: t == cfg.Ticks/3}
+		case p.crash && t == cutTick:
+			// Solo writer tick for the power cut; later ticks run
+			// against the dead device and must see clean degraded or
+			// error outcomes, never hangs or phantom acks.
+			writer := t % cfg.Clients
+			tp.ops[writer] = writerBurst(cfg, rng, writer)
+			tp.cutAfter = 1 + int64(rng.Intn(cfg.Burst))
+		case p.flip && t == cfg.Ticks/2:
+			// Sweep tick: no writer; every worker reads every key it
+			// does not own, so a flipped block surfaces as a CORRUPT
+			// outcome wherever it landed.
+			for w := 0; w < cfg.Clients; w++ {
+				for o := 0; o < cfg.Clients; o++ {
+					if o == w && cfg.Clients > 1 {
+						continue
+					}
+					for i := 0; i < cfg.KeysPerWorker; i++ {
+						tp.ops[w] = append(tp.ops[w], plannedOp{kind: history.KindGet, owner: o, keyIdx: i})
+					}
+				}
+			}
+		default:
+			writer := t % cfg.Clients
+			tp.ops[writer] = writerBurst(cfg, rng, writer)
+			for w := 0; w < cfg.Clients; w++ {
+				if w == writer {
+					continue
+				}
+				// Readers never target the tick's writer: no read
+				// races a write to the same key.
+				for n := 1 + rng.Intn(2); n > 0; n-- {
+					owner := rng.Intn(cfg.Clients)
+					for owner == writer {
+						owner = rng.Intn(cfg.Clients)
+					}
+					tp.ops[w] = append(tp.ops[w], plannedOp{kind: history.KindGet, owner: owner, keyIdx: rng.Intn(cfg.KeysPerWorker)})
+				}
+			}
+			if kind == "net" && t%3 == 1 {
+				tp.net = pickNetFault(cfg, rng)
+			}
+		}
+		p.ticks = append(p.ticks, tp)
+	}
+	return p
+}
+
+// writerBurst plans one writer tick: Burst sequential writes into the
+// writer's own shard, roughly one in eight a delete.
+func writerBurst(cfg *Config, rng *rand.Rand, writer int) []plannedOp {
+	ops := make([]plannedOp, 0, cfg.Burst)
+	for s := 0; s < cfg.Burst; s++ {
+		k := history.KindPut
+		if rng.Intn(8) == 0 {
+			k = history.KindDelete
+		}
+		ops = append(ops, plannedOp{kind: k, owner: writer, keyIdx: rng.Intn(cfg.KeysPerWorker)})
+	}
+	return ops
+}
+
+// pickNetFault draws one network fault: target worker, direction, and
+// kind. The target always has traffic in a normal tick (the writer
+// its burst, every reader at least one GET), so the armed fault is
+// consumed this tick.
+func pickNetFault(cfg *Config, rng *rand.Rand) *netPlan {
+	np := &netPlan{worker: rng.Intn(cfg.Clients), dir: netfault.Direction(rng.Intn(2))}
+	switch rng.Intn(4) {
+	case 0:
+		np.fault = netfault.Fault{Kind: netfault.Delay, Delay: time.Duration(1+rng.Intn(3)) * time.Millisecond}
+	case 1:
+		np.fault = netfault.Fault{Kind: netfault.Drop}
+	case 2:
+		np.fault = netfault.Fault{Kind: netfault.Reset}
+	case 3:
+		np.fault = netfault.Fault{Kind: netfault.Truncate, Bytes: 1 + rng.Intn(12)}
+	}
+	return np
+}

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// campaignKey names one key by its owner worker and index within the
+// owner's shard. Single-writer-per-key: only worker w ever writes w's
+// keys, which is what lets the checker treat each key's versions as
+// totally ordered.
+func campaignKey(owner, idx int) string {
+	return fmt.Sprintf("w%02d-k%03d", owner, idx)
+}
+
+// campaignValue tags a value with its key and version so any read (or
+// the recovered snapshot) can be validated offline, padded with a
+// deterministic filler to size.
+func campaignValue(key string, version int64, size int) []byte {
+	prefix := fmt.Sprintf("%s#v%08d#", key, version)
+	b := make([]byte, 0, max(size, len(prefix)))
+	b = append(b, prefix...)
+	for i := int64(0); len(b) < size; i++ {
+		b = append(b, byte('a'+(version+i)%26))
+	}
+	return b
+}
+
+// parseValue recovers the version from a tagged value; ok is false if
+// the bytes are not a well-formed tag for this key.
+func parseValue(key string, v []byte) (int64, bool) {
+	s := string(v)
+	prefix := key + "#v"
+	if !strings.HasPrefix(s, prefix) || len(s) < len(prefix)+9 || s[len(prefix)+8] != '#' {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s[len(prefix):len(prefix)+8], 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -32,6 +32,12 @@ var ErrNotFound = errors.New("lsm: key not found")
 // cause is included in the returned error.
 var ErrDegraded = errors.New("lsm: database is in read-only degraded mode")
 
+// ErrCorruptBlock re-exports the sstable corruption sentinel: any read
+// (Get, Scan, compaction input) that hit a block failing its CRC
+// matches it under errors.Is. Callers above lsm (the server) map it to
+// a distinct wire status without importing sstable.
+var ErrCorruptBlock = sstable.ErrCorruptBlock
+
 // Device bundles the emulated drive stack a DB runs on. It survives
 // DB close, playing the role of the physical disk: reopening a DB on
 // the same Device exercises MANIFEST and WAL recovery against the

@@ -35,6 +35,39 @@ func (d *DB) LevelProfile() []LevelInfo {
 	return out
 }
 
+// TableLocation reports where one live table file sits on the device:
+// its level, file number, and physical extent. The chaos harness uses
+// it to aim bit flips at real table bytes; debugging tools use it to
+// map a journaled corruption offset back to a file.
+type TableLocation struct {
+	Level int    `json:"level"`
+	Num   uint64 `json:"num"`
+	Off   int64  `json:"off"`
+	Len   int64  `json:"len"`
+}
+
+// TableLocations returns the physical placement of every live table,
+// ordered by (level, file number). Files whose extent the backend
+// cannot resolve (mid-deletion races) are skipped.
+func (d *DB) TableLocations() []TableLocation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vs.Current()
+	var out []TableLocation
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		files := append([]*version.FileMeta(nil), v.Files[l]...)
+		sort.Slice(files, func(i, j int) bool { return files[i].Num < files[j].Num })
+		for _, f := range files {
+			ext, err := d.backend.FileExtent(f.Num)
+			if err != nil {
+				continue
+			}
+			out = append(out, TableLocation{Level: l, Num: f.Num, Off: ext.Off, Len: ext.Len})
+		}
+	}
+	return out
+}
+
 // SetProfile summarizes the set registry: live sets, their members,
 // and the invalid-member backlog the set-priority GC works through.
 type SetProfile struct {

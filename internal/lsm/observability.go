@@ -28,6 +28,7 @@ type dbMetrics struct {
 	walRotations         *obs.Counter
 	walReplaySkipped     *obs.Counter
 	degraded             *obs.Counter
+	sstableCorrupt       *obs.Counter
 
 	// Tracer accounting (trace.go).
 	traceOps        *obs.Counter
@@ -85,6 +86,7 @@ func (d *DB) initObs() {
 	m.walRotations = d.reg.Counter("sealdb_wal_rotations_total")
 	m.walReplaySkipped = d.reg.Counter("sealdb_wal_replay_skipped_bytes_total")
 	m.degraded = d.reg.Counter("sealdb_degraded_total")
+	m.sstableCorrupt = d.reg.Counter("sealdb_sstable_corrupt_blocks_total")
 	m.writeLatency = d.reg.Histogram("sealdb_write_latency_ns")
 	m.readLatency = d.reg.Histogram("sealdb_read_latency_ns")
 	m.flushLatency = d.reg.Histogram("sealdb_flush_latency_ns")
@@ -110,6 +112,16 @@ func (d *DB) initObs() {
 		m.levelWriteBytes[l] = d.reg.Counter(fmt.Sprintf("sealdb_level_%d_write_bytes_total", l))
 		m.levelReadBytes[l] = d.reg.Counter(fmt.Sprintf("sealdb_level_%d_read_bytes_total", l))
 	}
+
+	// Media corruption detected on the read path: count it and
+	// journal the damaged block's location so operators can map it
+	// back to a table file without re-reading the device.
+	d.cache.SetCorruptObserver(func(file, offset uint64) {
+		m.sstableCorrupt.Inc()
+		d.journal.Record("sstable_corrupt_block", map[string]int64{
+			"file": int64(file), "offset": int64(offset),
+		})
+	})
 
 	d.tracer.init(d)
 	d.runtime = obs.NewRuntimeSampler()

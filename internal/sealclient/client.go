@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +43,9 @@ var (
 	ErrClosed = errors.New("sealclient: client is closed")
 	// ErrConn wraps transport-level failures (dial, read, write, reset).
 	ErrConn = errors.New("sealclient: connection error")
+	// ErrCorrupt reports that the server detected on-media corruption
+	// (an SSTable block failed its CRC) while serving the request.
+	ErrCorrupt = errors.New("sealclient: store detected media corruption")
 )
 
 // Options tunes a client. The zero value dials with the defaults.
@@ -54,10 +59,35 @@ type Options struct {
 	DialTimeout time.Duration
 	// ReadRetries is how many extra attempts an idempotent read (GET,
 	// SCAN, STATS) gets after a connection-level failure, each on a
-	// freshly dialed connection. Writes are never retried: a timed-out
+	// freshly dialed connection after an exponential-backoff sleep
+	// with full jitter. Writes are never retried — not on failures
+	// and not while the server reports DEGRADED — because a timed-out
 	// or broken write may still have committed. 0 means 2; negative
 	// disables retries.
 	ReadRetries int
+	// RetryBaseDelay is the backoff cap for the first retry; each
+	// further retry doubles the cap and the actual sleep is uniform
+	// in [0, cap) (full jitter). While the server reports DEGRADED
+	// the caps are multiplied by 4: the store will not heal by
+	// hammering it. 0 means 2ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the per-retry backoff regardless of attempt
+	// count. 0 means 100ms.
+	RetryMaxDelay time.Duration
+	// RetryBudget bounds the total backoff sleep one call may spend;
+	// a retry whose delay would exceed the remaining budget is not
+	// attempted. 0 means 1s.
+	RetryBudget time.Duration
+	// Sleep replaces time.Sleep for backoff waits; tests and the
+	// chaos harness inject recorders or no-ops here. Nil means
+	// time.Sleep. It is called once per retry, including zero
+	// delays.
+	Sleep func(time.Duration)
+	// Rand replaces the jitter source: it must return a uniform
+	// value in [0, n). Nil means a private math/rand source seeded
+	// from the clock at Dial. Called concurrently; the default is
+	// mutex-guarded, injected sources must be safe themselves.
+	Rand func(n int64) int64
 	// MaxFrame bounds accepted response frames. 0 means
 	// wire.DefaultMaxFrame.
 	MaxFrame int
@@ -107,6 +137,27 @@ func (o *Options) maxFrame() int {
 	return wire.DefaultMaxFrame
 }
 
+func (o *Options) retryBaseDelay() time.Duration {
+	if o.RetryBaseDelay > 0 {
+		return o.RetryBaseDelay
+	}
+	return 2 * time.Millisecond
+}
+
+func (o *Options) retryMaxDelay() time.Duration {
+	if o.RetryMaxDelay > 0 {
+		return o.RetryMaxDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (o *Options) retryBudget() time.Duration {
+	if o.RetryBudget > 0 {
+		return o.RetryBudget
+	}
+	return time.Second
+}
+
 // Client is a pooled, pipelining SEALDB client. Safe for concurrent
 // use; concurrent requests on the same pooled connection pipeline.
 type Client struct {
@@ -116,6 +167,14 @@ type Client struct {
 	rr     atomic.Uint64 // round-robin cursor
 	slots  []*connSlot
 	closed atomic.Bool
+
+	// degraded tracks the last write's view of the server: set when a
+	// write is rejected with DEGRADED, cleared when one succeeds.
+	// While set, read-retry backoff caps are multiplied.
+	degraded atomic.Bool
+
+	sleep func(time.Duration)
+	rnd   func(n int64) int64
 
 	// Features is the feature mask negotiated on the first dialed
 	// connection.
@@ -129,6 +188,20 @@ func Dial(addr string, o Options) (*Client, error) {
 	c := &Client{addr: addr, o: o, slots: make([]*connSlot, o.conns())}
 	for i := range c.slots {
 		c.slots[i] = &connSlot{}
+	}
+	c.sleep = o.Sleep
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	c.rnd = o.Rand
+	if c.rnd == nil {
+		var mu sync.Mutex
+		src := rand.New(rand.NewSource(time.Now().UnixNano()))
+		c.rnd = func(n int64) int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return src.Int63n(n)
+		}
 	}
 	cc, err := c.slots[0].get(c)
 	if err != nil {
@@ -173,11 +246,23 @@ func (c *Client) roundTrip(op wire.Op, payload []byte) (wire.Status, []byte, err
 }
 
 // readRoundTrip is roundTrip plus the bounded idempotent-read retry
-// loop: connection-level failures redial and retry; status errors and
-// timeouts do not.
+// loop: connection-level failures redial and retry after an
+// exponential-backoff sleep with full jitter, until the attempt bound
+// or the per-call sleep budget runs out. Status errors and timeouts
+// are never retried (a timeout's fate at the server is unknown).
 func (c *Client) readRoundTrip(op wire.Op, payload []byte) (wire.Status, []byte, error) {
 	var lastErr error
+	var slept time.Duration
+	budget := c.o.retryBudget()
 	for attempt := 0; attempt <= c.o.readRetries(); attempt++ {
+		if attempt > 0 {
+			d := c.backoffDelay(attempt - 1)
+			if slept+d > budget {
+				break // retry budget exhausted; report the last failure
+			}
+			slept += d
+			c.sleep(d)
+		}
 		st, body, err := c.roundTrip(op, payload)
 		if err == nil {
 			return st, body, nil
@@ -189,6 +274,46 @@ func (c *Client) readRoundTrip(op wire.Op, payload []byte) (wire.Status, []byte,
 	}
 	return 0, nil, lastErr
 }
+
+// backoffDelay computes the sleep before retry number attempt+1:
+// uniform in [0, cap) where cap doubles per attempt from
+// RetryBaseDelay up to RetryMaxDelay (full jitter, per the AWS
+// architecture blog's taxonomy). A client that last saw the server
+// DEGRADED quadruples both cap and ceiling: the store is read-only
+// after a permanent device failure and will not heal under pressure.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	if attempt > 30 {
+		attempt = 30 // avoid shift overflow; the cap clamps anyway
+	}
+	capDelay := c.o.retryBaseDelay() << uint(attempt)
+	maxDelay := c.o.retryMaxDelay()
+	if c.degraded.Load() {
+		capDelay *= 4
+		maxDelay *= 4
+	}
+	if capDelay > maxDelay {
+		capDelay = maxDelay
+	}
+	if capDelay <= 0 {
+		return 0
+	}
+	return time.Duration(c.rnd(int64(capDelay)))
+}
+
+// noteWriteStatus updates the client's degraded view from a write's
+// reply status.
+func (c *Client) noteWriteStatus(st wire.Status) {
+	switch st {
+	case wire.StatusOK:
+		c.degraded.Store(false)
+	case wire.StatusDegraded:
+		c.degraded.Store(true)
+	}
+}
+
+// Degraded reports whether the most recent write observed the server
+// in read-only degraded mode.
+func (c *Client) Degraded() bool { return c.degraded.Load() }
 
 // statusErr maps a non-OK reply to a wrapped sentinel error.
 func statusErr(st wire.Status, body []byte) error {
@@ -202,6 +327,8 @@ func statusErr(st wire.Status, body []byte) error {
 		return fmt.Errorf("%w: %s", ErrStoreClosed, msg)
 	case wire.StatusUnavailable:
 		return fmt.Errorf("%w: %s", ErrUnavailable, msg)
+	case wire.StatusCorrupt:
+		return fmt.Errorf("%w: %s", ErrCorrupt, msg)
 	default:
 		return fmt.Errorf("sealclient: %s: %s", st, msg)
 	}
@@ -226,6 +353,7 @@ func (c *Client) Put(key, value []byte) error {
 	if err != nil {
 		return err
 	}
+	c.noteWriteStatus(st)
 	if st != wire.StatusOK {
 		return statusErr(st, body)
 	}
@@ -238,6 +366,7 @@ func (c *Client) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
+	c.noteWriteStatus(st)
 	if st != wire.StatusOK {
 		return statusErr(st, body)
 	}
@@ -274,6 +403,7 @@ func (c *Client) Apply(b *Batch) error {
 	if err != nil {
 		return err
 	}
+	c.noteWriteStatus(st)
 	if st != wire.StatusOK {
 		return statusErr(st, body)
 	}

@@ -103,6 +103,16 @@ commit:
 			ctx.ReqID = req.reqID
 		}
 	}
+	if mutationAckBeforeCommit {
+		// Intentional bug for the chaos harness's mutation self-test
+		// (build tag sealdb_chaos_mutation): acknowledge every request
+		// as committed before the group touches the WAL. A power cut
+		// during the apply then loses acked writes, which the history
+		// checker must flag as a durability violation.
+		for _, req := range reqs {
+			req.done(nil)
+		}
+	}
 	err := s.db.ApplyCtx(b, ctx)
 
 	s.m.coalescedCommits.Inc()
@@ -114,7 +124,9 @@ commit:
 	now := time.Now()
 	for _, req := range reqs {
 		s.m.writeLatency.Observe(now.Sub(req.start).Nanoseconds())
-		req.done(err)
+		if !mutationAckBeforeCommit {
+			req.done(err)
+		}
 	}
 	putBatch(b)
 }

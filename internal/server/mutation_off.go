@@ -1,0 +1,10 @@
+//go:build !sealdb_chaos_mutation
+
+package server
+
+// mutationAckBeforeCommit enables the intentional durability bug the
+// chaos harness's mutation self-test uses to prove its history
+// checker is not vacuous: write requests are acknowledged before the
+// group commit reaches the WAL. Off in every normal build; the
+// sealdb_chaos_mutation build tag turns it on (mutation_on.go).
+const mutationAckBeforeCommit = false

@@ -1,0 +1,9 @@
+//go:build sealdb_chaos_mutation
+
+package server
+
+// mutationAckBeforeCommit: this build carries the intentional
+// ack-before-WAL-sync bug (see mutation_off.go). Only the chaos
+// harness's mutation self-test builds with this tag; it asserts the
+// history checker reports the resulting durability violations.
+const mutationAckBeforeCommit = true

@@ -281,6 +281,8 @@ func errStatus(err error) (wire.Status, string) {
 		return wire.StatusDegraded, err.Error()
 	case errors.Is(err, lsm.ErrClosed):
 		return wire.StatusClosed, err.Error()
+	case errors.Is(err, lsm.ErrCorruptBlock):
+		return wire.StatusCorrupt, err.Error()
 	default:
 		return wire.StatusInternal, err.Error()
 	}

@@ -22,6 +22,14 @@ type Cache struct {
 	// positives (filter passed, key present) and false positives
 	// (filter passed, key absent).
 	bloomNeg, bloomTruePos, bloomFalsePos int64
+
+	// corrupt counts CRC-failed block reads across the cache's
+	// tables. guarded by mu.
+	corrupt int64
+	// onCorrupt, if set, is invoked (outside mu) once per CRC
+	// failure with the damaged block's file number and offset.
+	// guarded by mu.
+	onCorrupt func(file, offset uint64)
 }
 
 type cacheKey struct {
@@ -126,6 +134,32 @@ func (c *Cache) noteBloom(passed, found bool) {
 	}
 }
 
+// SetCorruptObserver installs fn to be called once per detected
+// block-CRC failure in any table sharing this cache. Nil-safe.
+func (c *Cache) SetCorruptObserver(fn func(file, offset uint64)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onCorrupt = fn
+}
+
+// noteCorrupt records one CRC-failed block read and notifies the
+// observer. Nil-safe (compaction readers run without a cache).
+func (c *Cache) noteCorrupt(file, offset uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.corrupt++
+	fn := c.onCorrupt
+	c.mu.Unlock()
+	if fn != nil {
+		fn(file, offset)
+	}
+}
+
 // CacheStats is a point-in-time copy of the cache and bloom counters.
 type CacheStats struct {
 	Hits     int64   `json:"hits"`
@@ -138,6 +172,8 @@ type CacheStats struct {
 	BloomNegatives      int64 `json:"bloom_negatives"`
 	BloomTruePositives  int64 `json:"bloom_true_positives"`
 	BloomFalsePositives int64 `json:"bloom_false_positives"`
+	// CorruptBlocks counts block reads that failed their CRC.
+	CorruptBlocks int64 `json:"corrupt_blocks"`
 }
 
 // Stats returns the cache and bloom counters. A nil cache reports
@@ -154,6 +190,7 @@ func (c *Cache) Stats() CacheStats {
 		BloomNegatives:      c.bloomNeg,
 		BloomTruePositives:  c.bloomTruePos,
 		BloomFalsePositives: c.bloomFalsePos,
+		CorruptBlocks:       c.corrupt,
 	}
 	if total := c.hits + c.misses; total > 0 {
 		s.HitRatio = float64(c.hits) / float64(total)

@@ -2,12 +2,33 @@ package sstable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 
 	"sealdb/internal/kv"
 )
+
+// ErrCorruptBlock is the sentinel matched by errors.Is for any block
+// whose stored CRC did not match its contents — on-media corruption,
+// as opposed to structural decode failures (a builder or handle bug).
+var ErrCorruptBlock = errors.New("sstable: corrupt block (checksum mismatch)")
+
+// CorruptBlockError pinpoints a CRC failure: which table file and at
+// which byte offset within it the damaged block starts. It matches
+// ErrCorruptBlock under errors.Is.
+type CorruptBlockError struct {
+	FileNum uint64
+	Offset  uint64
+}
+
+func (e *CorruptBlockError) Error() string {
+	return fmt.Sprintf("sstable: block checksum mismatch in file %d at %d", e.FileNum, e.Offset)
+}
+
+// Is reports whether target is the corruption sentinel.
+func (e *CorruptBlockError) Is(target error) bool { return target == ErrCorruptBlock }
 
 // Table reads a finished SSTable through an io.ReaderAt.
 type Table struct {
@@ -73,7 +94,8 @@ func (t *Table) readRawFrom(r io.ReaderAt, h blockHandle) ([]byte, error) {
 	crc := crc32.Checksum(contents, castagnoliTable)
 	crc = crc32.Update(crc, castagnoliTable, []byte{typ})
 	if crc != wantCRC {
-		return nil, fmt.Errorf("sstable: block checksum mismatch in file %d at %d", t.fileNum, h.offset)
+		t.cache.noteCorrupt(t.fileNum, h.offset)
+		return nil, &CorruptBlockError{FileNum: t.fileNum, Offset: h.offset}
 	}
 	out, err := decompressBlock(typ, contents)
 	if err != nil {

@@ -107,6 +107,11 @@ const (
 	StatusInternal    Status = 5
 	StatusTooLarge    Status = 6
 	StatusUnavailable Status = 7
+	// StatusCorrupt reports that the engine detected on-media
+	// corruption (an SSTable block failed its CRC) while serving the
+	// request. Distinct from StatusInternal so clients and operators
+	// can tell media damage from software failure.
+	StatusCorrupt Status = 8
 )
 
 func (s Status) String() string {
@@ -127,6 +132,8 @@ func (s Status) String() string {
 		return "TOO_LARGE"
 	case StatusUnavailable:
 		return "UNAVAILABLE"
+	case StatusCorrupt:
+		return "CORRUPT"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
