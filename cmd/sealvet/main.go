@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,17 +30,30 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	noTests := flag.Bool("notests", false, "exclude in-package _test.go files from analysis")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored so tests can pin the exit code
+// and the summary line without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sealvet", flag.ExitOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	noTests := fs.Bool("notests", false, "exclude in-package _test.go files from analysis")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Parse(args)
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "sealvet: "+format+"\n", a...)
+		return 1
+	}
 
 	analyzers := sealvet.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		want := map[string]bool{}
@@ -54,24 +68,24 @@ func main() {
 			}
 		}
 		for n := range want {
-			fatalf("unknown analyzer %q (use -list)", n)
+			return fail("unknown analyzer %q (use -list)", n)
 		}
 		analyzers = filtered
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	modPath, err := analysis.ModulePath(root)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	if err := os.Chdir(root); err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 
-	roots := flag.Args()
+	roots := fs.Args()
 	if len(roots) == 0 {
 		roots = []string{"./..."}
 	}
@@ -82,18 +96,18 @@ func main() {
 		dir = filepath.Clean(dir)
 		abs, err := filepath.Abs(dir)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		if strings.HasSuffix(pattern, "/...") || pattern == "./..." {
 			loaded, err := loader.LoadTree(root, modPath, abs, !*noTests)
 			if err != nil {
-				fatalf("loading %s: %v", pattern, err)
+				return fail("loading %s: %v", pattern, err)
 			}
 			pkgs = append(pkgs, loaded...)
 		} else {
 			rel, err := filepath.Rel(root, abs)
 			if err != nil {
-				fatalf("%v", err)
+				return fail("%v", err)
 			}
 			importPath := modPath
 			if rel != "." {
@@ -101,7 +115,7 @@ func main() {
 			}
 			pkg, err := loader.Load(abs, importPath, !*noTests)
 			if err != nil {
-				fatalf("loading %s: %v", pattern, err)
+				return fail("loading %s: %v", pattern, err)
 			}
 			pkgs = append(pkgs, pkg)
 		}
@@ -109,12 +123,13 @@ func main() {
 
 	findings := analysis.Run(pkgs, analyzers)
 	for _, f := range findings {
-		fmt.Println(f)
+		fmt.Fprintln(stdout, f)
 	}
+	fmt.Fprintf(stderr, "sealvet: %d diagnostics from %d analyzers\n", len(findings), len(analyzers))
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sealvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // findModuleRoot walks up from the working directory to go.mod.
@@ -129,13 +144,8 @@ func findModuleRoot() (string, error) {
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {
-			return "", fmt.Errorf("sealvet: no go.mod found above %s (run inside the module)", dir)
+			return "", fmt.Errorf("no go.mod found above %s (run inside the module)", dir)
 		}
 		dir = parent
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sealvet: "+format+"\n", args...)
-	os.Exit(1)
 }

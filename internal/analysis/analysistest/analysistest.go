@@ -32,25 +32,42 @@ type expectation struct {
 }
 
 // Run loads the fixture package rooted at dir (conventionally
-// testdata/src/<pkg>), applies the analyzer, and reports mismatches
-// between its diagnostics and the fixture's want comments.
+// testdata/src/<pkg>), applies the analyzer, and fails the test with
+// one error per mismatch between its diagnostics and the fixture's
+// want comments.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
-	abs, err := filepath.Abs(dir)
+	mismatches, err := Check(a, dir)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+}
+
+// Check is the engine behind Run, exposed so the harness itself can
+// be tested: it returns one message per mismatch — an unexpected
+// diagnostic, or a want comment no diagnostic matched — and an error
+// only when the fixture cannot be loaded or parsed at all. An empty
+// slice means the analyzer and the fixture agree exactly.
+func Check(a *analysis.Analyzer, dir string) ([]string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
 	}
 	loader := analysis.NewLoader()
 	pkg, err := loader.Load(abs, filepath.Base(abs), true)
 	if err != nil {
-		t.Fatalf("analysistest: loading %s: %v", dir, err)
+		return nil, fmt.Errorf("loading %s: %v", dir, err)
 	}
 
 	expects, err := collectWants(abs)
 	if err != nil {
-		t.Fatalf("analysistest: %v", err)
+		return nil, err
 	}
 
+	var mismatches []string
 	findings := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
 	for _, f := range findings {
 		base := filepath.Base(f.Pos.Filename)
@@ -66,14 +83,17 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", base, f.Pos.Line, f.Analyzer, f.Message)
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s:%d: unexpected diagnostic: [%s] %s", base, f.Pos.Line, f.Analyzer, f.Message))
 		}
 	}
 	for _, e := range expects {
 		if !e.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re))
 		}
 	}
+	return mismatches, nil
 }
 
 // collectWants parses every fixture file's comments for want

@@ -1,0 +1,22 @@
+// Package multifile exercises the harness across several files of one
+// fixture package: each file carries both a clean access and a
+// violation, so a matched run proves per-file diagnostics all line up.
+package multifile
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+}
+
+func goodA(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+func badA(b *box) int {
+	return b.count // want "neither locks mu"
+}

@@ -1,0 +1,11 @@
+package multifile
+
+func goodB(b *box) {
+	b.mu.Lock()
+	b.count++
+	b.mu.Unlock()
+}
+
+func badB(b *box) {
+	b.count = 0 // want "neither locks mu"
+}

@@ -1,0 +1,23 @@
+// Package unmatched carries a want comment on a line the analyzer is
+// silent about, plus a violation with no want comment. The harness
+// must surface BOTH directions: the stale expectation and the
+// unexpected diagnostic.
+package unmatched
+
+import "sync"
+
+type jar struct {
+	mu sync.Mutex
+	// lid is guarded by mu.
+	lid int
+}
+
+func fineButExpected(j *jar) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lid // want "this line is clean; the harness must flag this stale want"
+}
+
+func dirtyButUnexpected(j *jar) int {
+	return j.lid
+}

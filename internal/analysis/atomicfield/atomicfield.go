@@ -1,0 +1,168 @@
+// Package atomicfield enforces atomic-access discipline: once any
+// code updates a struct field through sync/atomic (atomic.AddInt64,
+// atomic.LoadInt64, ... on &s.f), every access to that field must be
+// atomic — a plain read or write races with the atomic ones, and the
+// race detector only catches it when the schedule cooperates.
+//
+// It also polices the annotation boundary with guardedby: a field
+// that is accessed atomically (by address or through an atomic.Int64
+// style typed atomic) must not also carry a "// guarded by <mu>"
+// annotation — the two disciplines make different promises, and code
+// holding the mutex will still race with the atomic writers. A
+// reviewed mixed-discipline field (e.g. mutex for read-modify-write,
+// atomic for fast-path reads) is declared by putting
+// //sealvet:allow atomicfield on the field declaration.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"sealdb/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a field touched via sync/atomic anywhere must be accessed atomically everywhere " +
+		"and must not also be '// guarded by' a mutex; reviewed mixed-discipline fields " +
+		"carry //sealvet:allow atomicfield on the declaration",
+	Run: run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every field passed by address to a sync/atomic
+	// function, remembering the selector nodes so pass 2 does not
+	// mistake the atomic accesses themselves for plain ones.
+	atomicDirect := map[*types.Var]bool{}
+	atomicUse := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass.TypesInfo, sel); v != nil {
+					atomicDirect[v] = true
+					atomicUse[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other access to those fields must not be plain.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUse[sel] {
+				return true
+			}
+			v := fieldVar(pass.TypesInfo, sel)
+			if v == nil || !atomicDirect[v] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is updated with sync/atomic elsewhere; this plain access races with those atomic operations",
+				v.Name())
+			return true
+		})
+	}
+
+	// Pass 3: atomic fields (by-address or typed) must not also be
+	// mutex-guarded by annotation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := fieldGuard(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if atomicDirect[v] || isTypedAtomic(v.Type()) {
+						pass.Reportf(name.Pos(),
+							"field %s mixes atomic access with a '// guarded by %s' annotation; use one discipline or add //sealvet:allow atomicfield to the field",
+							v.Name(), mu)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function from package
+// sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// atomics (atomic.Int64, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldGuard extracts a guarded-by annotation from a field's doc or
+// trailing comment.
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,60 @@
+// Package atomicf is the atomicfield fixture: counters accessed with
+// consistent and inconsistent atomic discipline.
+package atomicf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits int64 // updated atomically
+	cold int64 // plain, never atomic
+
+	mu sync.Mutex
+	// guarded by mu
+	mixed int64 // want "mixes atomic access with a '// guarded by mu' annotation"
+
+	// guarded by mu
+	okGuarded int64
+
+	typed atomic.Int64
+
+	// guarded by mu, with the fast path reading atomically.
+	exempt atomic.Int64 //sealvet:allow atomicfield
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.mixed, 1)
+}
+
+// Good: atomic read of an atomic field.
+func (c *counters) Hits() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Bad: plain read of an atomically-updated field.
+func (c *counters) racyHits() int64 {
+	return c.hits // want "plain access races with those atomic operations"
+}
+
+// Bad: plain write too.
+func (c *counters) resetHits() {
+	c.hits = 0 // want "plain access races with those atomic operations"
+}
+
+// Good: cold carries no atomic obligation.
+func (c *counters) Cold() int64 { return c.cold }
+
+// Good: typed atomics used through their methods.
+func (c *counters) Typed() int64 { return c.typed.Load() }
+
+// Good: the guarded field accessed under its mutex (guardedby's
+// jurisdiction, not ours).
+func (c *counters) OKGuarded() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.okGuarded
+}
+
+// Good: reviewed mixed-discipline field.
+func (c *counters) Exempt() int64 { return c.exempt.Load() }

@@ -105,3 +105,46 @@ func (s *instrumented) crossLock() int64 {
 	defer s.mu.Unlock()
 	return s.idx // want "field idx is guarded by rwmu"
 }
+
+// Good (v2): the early-exit unlock strips the lock only from the
+// terminated path; the fallthrough access is still guarded.
+func (d *drive) guardedEarlyExit(stop bool) int64 {
+	d.mu.Lock()
+	if stop {
+		d.mu.Unlock()
+		return 0
+	}
+	v := d.host
+	d.mu.Unlock()
+	return v
+}
+
+// Bad (v2): the lock was released before the second read — flow
+// sensitivity catches what "locks mu somewhere" would excuse.
+func (d *drive) afterUnlock() int64 {
+	d.mu.Lock()
+	v := d.host
+	d.mu.Unlock()
+	return v + d.host // want "not held at this access"
+}
+
+// Bad (v2): a write under only the read lock.
+func (r *rw) bumpShared() {
+	r.rwmu.RLock()
+	defer r.rwmu.RUnlock()
+	r.state++ // want "holds only the read lock"
+}
+
+// Good (v2): upgrading to the write lock before mutating.
+func (r *rw) bumpExclusive() {
+	r.rwmu.Lock()
+	r.state++
+	r.rwmu.Unlock()
+}
+
+// Bad (v2): compound assignment through RLock on an obs wrapper.
+func (s *instrumented) resetShared() {
+	s.rwmu.RLock()
+	defer s.rwmu.RUnlock()
+	s.idx = 0 // want "holds only the read lock"
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sealdb/internal/analysis/analysistest"
+	"sealdb/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/lockord")
+}
+
+func TestDeclaredCycle(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/lockcycle")
+}

@@ -1,0 +1,21 @@
+// Package lockcycle declares a cyclic hierarchy: the declarations
+// themselves are the violation, reported at the first edge that
+// closes the cycle.
+package lockcycle
+
+import "sealdb/internal/obs"
+
+// lockorder: x_mu < y_mu // want "lock-order declarations form a cycle through x_mu < y_mu"
+// lockorder: y_mu < x_mu
+
+type pair struct {
+	x obs.Mutex
+	y obs.Mutex
+}
+
+func newPair() *pair {
+	p := &pair{}
+	p.x.Profile("x_mu")
+	p.y.Profile("y_mu")
+	return p
+}

@@ -1,0 +1,163 @@
+//go:build sealdb_invariants
+
+package invariant
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The lock-order watchdog is the runtime half of the lockorder static
+// analyzer: the obs lock wrappers report every profiled acquisition
+// and release here, the watchdog maintains a per-goroutine stack of
+// held sites plus a global graph of observed acquisition edges, and
+// an acquisition that would close a cycle panics immediately —
+// before the goroutine blocks on the mutex, so the failure is a
+// stack trace naming both sites instead of a silent deadlock.
+//
+// A self-edge (site acquired while the same site is held) is skipped:
+// one site name can cover many mutex instances (per-band, per-file),
+// so it is not provably reentrant acquisition of one mutex.
+//
+// The observed graph is cumulative for the process; LockOrderEdges
+// exposes it so a chaos campaign can dump what actually nested and
+// cross-check the static '// lockorder:' declarations.
+
+var lw = struct {
+	mu    sync.Mutex
+	held  map[int64][]string         // goroutine id -> stack of held sites
+	edges map[string]map[string]bool // observed: held -> acquired
+}{
+	held:  map[int64][]string{},
+	edges: map[string]map[string]bool{},
+}
+
+// LockAcquired records that the calling goroutine is acquiring the
+// named site. It panics if the acquisition closes a cycle in the
+// observed edge graph. Call before blocking on the underlying mutex.
+func LockAcquired(site string) {
+	gid := goid()
+	lw.mu.Lock()
+	held := lw.held[gid]
+	for _, h := range held {
+		if h == site {
+			continue
+		}
+		if reachesLocked(site, h) {
+			edges := edgeListLocked()
+			lw.mu.Unlock()
+			panic(fmt.Sprintf(
+				"invariant violated: lock-order cycle: acquiring %q while holding %q, but the reverse order %q -> %q was already observed (edges: %v)",
+				site, h, site, h, edges))
+		}
+	}
+	for _, h := range held {
+		if h == site {
+			continue
+		}
+		if lw.edges[h] == nil {
+			lw.edges[h] = map[string]bool{}
+		}
+		lw.edges[h][site] = true
+	}
+	lw.held[gid] = append(held, site)
+	lw.mu.Unlock()
+}
+
+// LockReleased records that the calling goroutine released the named
+// site (the most recent matching hold; releases may be out of
+// acquisition order for hand-over-hand locking).
+func LockReleased(site string) {
+	gid := goid()
+	lw.mu.Lock()
+	held := lw.held[gid]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == site {
+			held = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	if len(held) == 0 {
+		delete(lw.held, gid)
+	} else {
+		lw.held[gid] = held
+	}
+	lw.mu.Unlock()
+}
+
+// LockOrderEdges returns the observed acquisition edges, sorted, as
+// {held, acquired} pairs.
+func LockOrderEdges() [][2]string {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return edgeListLocked()
+}
+
+// ResetLockOrder clears the observed graph and all held stacks
+// (test isolation).
+func ResetLockOrder() {
+	lw.mu.Lock()
+	lw.held = map[int64][]string{}
+	lw.edges = map[string]map[string]bool{}
+	lw.mu.Unlock()
+}
+
+// reachesLocked reports whether "to" is reachable from "from" in the
+// observed edge graph. Caller holds lw.mu.
+func reachesLocked(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range lw.edges[cur] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// edgeListLocked flattens the edge set, sorted. Caller holds lw.mu.
+func edgeListLocked() [][2]string {
+	var out [][2]string
+	for from, tos := range lw.edges {
+		for to := range tos {
+			out = append(out, [2]string{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// goid extracts the current goroutine's id from the stack header
+// ("goroutine 123 [running]: ..."). Slow, but the watchdog only
+// exists in invariant builds.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id int64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}

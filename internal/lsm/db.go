@@ -133,6 +133,15 @@ type DB struct {
 	// mu is the engine's big mutex (ROADMAP's top refactor target);
 	// the obs wrapper profiles its wait/hold times under the
 	// "lsm_db_mu" contention site when lock profiling is on.
+	//
+	// lsm_db_mu is the top of the lock hierarchy: it may be held
+	// while acquiring any of the subsystem locks below, never the
+	// reverse (enforced by sealvet's lockorder analyzer).
+	//
+	// lockorder: lsm_db_mu < version_set_mu
+	// lockorder: lsm_db_mu < dband_manager_mu
+	// lockorder: lsm_db_mu < storage_write_mu
+	// lockorder: lsm_db_mu < storage_backend_mu
 	mu        obs.Mutex
 	tableLRU  []uint64 // open-table recency, most recent last
 	mem       *memtable.MemTable

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"sealdb/internal/invariant"
 	"sealdb/internal/obs"
 )
 
@@ -16,6 +17,9 @@ import (
 func TestGetHotPathAllocsTracingOff(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting is unreliable under -race")
+	}
+	if invariant.Enabled {
+		t.Skip("lock-order watchdog allocates on profiled acquisitions")
 	}
 	d, err := Open(tinyConfig(ModeSEALDB))
 	if err != nil {

@@ -21,6 +21,7 @@ package obs
 // scope, and a test or harness may thread any nanotime it likes.
 
 import (
+	"sealdb/internal/invariant"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -196,7 +197,13 @@ type Mutex struct {
 func (m *Mutex) Profile(name string) { m.site.Store(siteFor(name)) }
 
 // Lock locks the mutex, recording wait time when profiling is on.
+// In invariant builds a profiled acquisition is reported to the
+// lock-order watchdog before blocking, so a cycle panics instead of
+// deadlocking.
 func (m *Mutex) Lock() {
+	if invariant.Enabled {
+		m.watchAcquire()
+	}
 	if !lockProfiling.Load() {
 		m.mu.Lock()
 		return
@@ -227,6 +234,9 @@ func (m *Mutex) lockProfiled() {
 // Unlock unlocks the mutex, recording hold time when the acquisition
 // was profiled.
 func (m *Mutex) Unlock() {
+	if invariant.Enabled {
+		m.watchRelease()
+	}
 	if t := m.acquiredNS; t != 0 {
 		m.acquiredNS = 0
 		if s := m.site.Load(); s != nil {
@@ -241,6 +251,9 @@ func (m *Mutex) Unlock() {
 func (m *Mutex) TryLock() bool {
 	if !m.mu.TryLock() {
 		return false
+	}
+	if invariant.Enabled {
+		m.watchAcquire()
 	}
 	if lockProfiling.Load() {
 		if s := m.site.Load(); s != nil {
@@ -268,6 +281,9 @@ func (m *RWMutex) Profile(name string) { m.site.Store(siteFor(name)) }
 
 // Lock write-locks the mutex, recording wait time when profiling is on.
 func (m *RWMutex) Lock() {
+	if invariant.Enabled {
+		m.watchAcquire()
+	}
 	if !lockProfiling.Load() {
 		m.mu.Lock()
 		return
@@ -296,6 +312,9 @@ func (m *RWMutex) lockProfiled() {
 // Unlock write-unlocks the mutex, recording hold time when the
 // acquisition was profiled.
 func (m *RWMutex) Unlock() {
+	if invariant.Enabled {
+		m.watchRelease()
+	}
 	if t := m.acquiredNS; t != 0 {
 		m.acquiredNS = 0
 		if s := m.site.Load(); s != nil {
@@ -307,6 +326,9 @@ func (m *RWMutex) Unlock() {
 
 // RLock read-locks the mutex, recording wait time when profiling is on.
 func (m *RWMutex) RLock() {
+	if invariant.Enabled {
+		m.watchAcquire()
+	}
 	if !lockProfiling.Load() {
 		m.mu.RLock()
 		return
@@ -330,12 +352,20 @@ func (m *RWMutex) rlockProfiled() {
 }
 
 // RUnlock read-unlocks the mutex.
-func (m *RWMutex) RUnlock() { m.mu.RUnlock() }
+func (m *RWMutex) RUnlock() {
+	if invariant.Enabled {
+		m.watchRelease()
+	}
+	m.mu.RUnlock()
+}
 
 // TryLock tries to write-lock the mutex without blocking.
 func (m *RWMutex) TryLock() bool {
 	if !m.mu.TryLock() {
 		return false
+	}
+	if invariant.Enabled {
+		m.watchAcquire()
 	}
 	if lockProfiling.Load() {
 		if s := m.site.Load(); s != nil {
@@ -351,10 +381,42 @@ func (m *RWMutex) TryRLock() bool {
 	if !m.mu.TryRLock() {
 		return false
 	}
+	if invariant.Enabled {
+		m.watchAcquire()
+	}
 	if lockProfiling.Load() {
 		if s := m.site.Load(); s != nil {
 			s.acquire(0, false)
 		}
 	}
 	return true
+}
+
+// watchAcquire and watchRelease report profiled acquisitions and
+// releases to the invariant lock-order watchdog. Call sites gate on
+// invariant.Enabled (a constant), so in default builds the calls —
+// and the site loads — compile away entirely, preserving the
+// zero-alloc fast paths.
+func (m *Mutex) watchAcquire() {
+	if s := m.site.Load(); s != nil {
+		invariant.LockAcquired(s.name)
+	}
+}
+
+func (m *Mutex) watchRelease() {
+	if s := m.site.Load(); s != nil {
+		invariant.LockReleased(s.name)
+	}
+}
+
+func (m *RWMutex) watchAcquire() {
+	if s := m.site.Load(); s != nil {
+		invariant.LockAcquired(s.name)
+	}
+}
+
+func (m *RWMutex) watchRelease() {
+	if s := m.site.Load(); s != nil {
+		invariant.LockReleased(s.name)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"sealdb/internal/invariant"
 )
 
 // findSite returns the named site's snapshot, or a zero value.
@@ -26,6 +28,9 @@ func findSite(t *testing.T, name string) LockSiteSnapshot {
 func TestLockProfilingOffAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting is unreliable under -race")
+	}
+	if invariant.Enabled {
+		t.Skip("lock-order watchdog allocates on profiled acquisitions")
 	}
 	SetLockProfiling(false)
 	var mu Mutex

@@ -31,17 +31,26 @@ func (e Extent) String() string { return fmt.Sprintf("[%d,%d)", e.Off, e.End()) 
 // Allocator is a placement policy over the drive's address space.
 type Allocator interface {
 	// Alloc reserves an extent of exactly size bytes.
+	//
+	// lockorder: acquires dband_manager_mu
 	Alloc(size int64) (Extent, error)
 	// AllocAppend reserves an extent for an append-only stream. A
 	// policy may place these differently (e.g. always in fresh
 	// space, as a file system places a growing log).
+	//
+	// lockorder: acquires dband_manager_mu
 	AllocAppend(size int64) (Extent, error)
 	// AllocGroup reserves one contiguous extent to hold a group of
 	// blobs of the given sizes (a set). Policies that cannot
 	// co-locate may return ErrNoGroupAlloc to make the backend fall
 	// back to per-blob allocation.
+	//
+	// lockorder: acquires dband_manager_mu
 	AllocGroup(sizes []int64) (Extent, error)
-	// Free returns an extent to the policy.
+	// Free returns an extent to the policy. The dynamic-band policy
+	// takes its manager lock, so Free nests like the Alloc calls.
+	//
+	// lockorder: acquires dband_manager_mu
 	Free(e Extent)
 }
 
@@ -71,7 +80,11 @@ type Backend struct {
 	// reach data already landed just past it. Profiled as the
 	// "storage_write_mu" contention site; the obs wrapper's clock is
 	// threaded from outside this package (obs.SetLockClock), keeping
-	// storage inside the noclock determinism contract.
+	// storage inside the noclock determinism contract. Allocator
+	// calls and the mapping-table lock both nest under it.
+	//
+	// lockorder: storage_write_mu < storage_backend_mu
+	// lockorder: storage_write_mu < dband_manager_mu
 	writeMu obs.Mutex
 
 	// mu guards the mapping table; profiled as "storage_backend_mu".

@@ -33,7 +33,12 @@ type Config struct {
 // numbers and sequence numbers.
 type Set struct {
 	// mu serializes version edits and manifest appends; profiled as
-	// the "version_set_mu" contention site.
+	// the "version_set_mu" contention site. LogAndApply holds it
+	// across the manifest write, so it sits above the storage locks
+	// in the hierarchy.
+	//
+	// lockorder: version_set_mu < storage_write_mu
+	// lockorder: version_set_mu < storage_backend_mu
 	mu  obs.Mutex
 	cfg Config
 
