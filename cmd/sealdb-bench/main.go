@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -45,6 +46,7 @@ func main() {
 		serve   = flag.String("serve", "", "serve /metrics and /debug for the store currently under test on this address (e.g. :8080)")
 
 		ycsbjson = flag.String("ycsbjson", "", "run the load phase and YCSB A-F on every store and write machine-readable results (ops/s, p50/p99, WA/AWA per workload) to this JSON file")
+		valsizes = flag.String("valuesizes", "", "comma-separated value sizes in bytes for -ycsbjson (e.g. 64,1024,65536,1048576); every store runs the full workload matrix per size")
 
 		ycsbnet  = flag.String("ycsbnet", "", "run this YCSB workload (A-F) both in-process and through a sealdb server over TCP, comparing throughput")
 		netrecs  = flag.Int64("netrecords", 20000, "records to load for -ycsbnet and -scale")
@@ -114,6 +116,16 @@ func main() {
 		}
 	}
 	if *ycsbjson != "" {
+		for _, s := range strings.Split(*valsizes, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad -valuesizes entry %q", s))
+			}
+			o.ValueSizes = append(o.ValueSizes, n)
+		}
 		rep, err := bench.RunYCSBReport(o)
 		if err != nil {
 			fatal(err)

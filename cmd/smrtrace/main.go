@@ -46,6 +46,7 @@ func main() {
 		analyze = flag.String("analyze", "", "offline mode: analyze an existing dump directory and exit")
 		dump    = flag.String("dump", "", "run a traced YCSB workload and write a raw dump (meta.json, trace.jsonl, events.jsonl) to this directory")
 		ops     = flag.Int("ops", 2000, "workload operations for -dump")
+		vthresh = flag.Int("valuethreshold", 0, "key–value separation threshold in bytes for -dump (0 = off): values at or above it go to the value log")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	if *dump != "" {
-		runDump(*dump, m, o, *ops)
+		runDump(*dump, m, o, *ops, *vthresh)
 		return
 	}
 
@@ -146,8 +147,9 @@ func (s traceStore) ScanN(start []byte, n int) (int, error) {
 
 // runDump executes a traced load + YCSB-A window and writes the raw
 // dump, then prints the analysis of what it just captured.
-func runDump(dir string, m lsm.Mode, o bench.Options, ops int) {
+func runDump(dir string, m lsm.Mode, o bench.Options, ops, vthresh int) {
 	cfg := lsm.Config{Mode: m, Geometry: o.Geometry, Seed: o.Seed}
+	cfg.ValueThreshold = vthresh
 	cfg.JournalCapacity = 1 << 16
 	cfg.Trace = lsm.TraceConfig{Enabled: true, SampleEvery: 8}
 	db, err := lsm.Open(cfg)

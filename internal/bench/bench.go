@@ -27,6 +27,15 @@ type Options struct {
 	// ValueSize is the value payload size (the paper uses 4 KiB with
 	// 16-byte keys; the scaled default is 1 KiB).
 	ValueSize int
+	// ValueSizes is the value-size axis for the YCSB report: each size
+	// runs the full workload matrix on every store. Empty means just
+	// ValueSize.
+	ValueSizes []int
+	// VlogThreshold is the key–value separation threshold of the
+	// "sealdb+vlog" store in the YCSB report (values at or above it
+	// move to the value log). Zero means 64, which separates every
+	// size on the standard 64 B → 1 MiB axis.
+	VlogThreshold int
 	// ReadOps is the number of point/sequential reads per experiment
 	// (the paper uses 100 K).
 	ReadOps int
@@ -72,8 +81,36 @@ func QuickOptions() Options {
 
 // Records returns the number of KV records that fit LoadMB.
 func (o Options) Records() int64 {
-	rec := int64(o.ValueSize + 16)
-	return o.LoadMB * kv.MiB / rec
+	return o.RecordsFor(o.ValueSize)
+}
+
+// RecordsFor returns the number of records of the given value size
+// that fit LoadMB, clamped so huge values still leave a workable
+// keyspace.
+func (o Options) RecordsFor(valueSize int) int64 {
+	rec := int64(valueSize + 16)
+	n := o.LoadMB * kv.MiB / rec
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// OpsFor bounds a YCSB phase's op count for the given value size:
+// above 4 KiB the count shrinks in proportion so a phase writes about
+// as many bytes as it would at 4 KiB. Without the cap, the 1 MiB cell
+// of the value-size axis pushes ~10 GiB of logical writes per store
+// through an 8 GiB simulated disk. The cap depends only on the value
+// size, so every store in a cell still runs identical work.
+func (o Options) OpsFor(valueSize int) int {
+	ops := o.YCSBOps
+	if valueSize > 4*1024 {
+		ops = o.YCSBOps * 4 * 1024 / valueSize
+		if ops < 64 {
+			ops = 64
+		}
+	}
+	return ops
 }
 
 func (o Options) config(mode lsm.Mode) lsm.Config {

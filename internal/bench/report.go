@@ -23,23 +23,59 @@ type YCSBPhase struct {
 	AWA       float64 `json:"awa"`
 }
 
-// YCSBStoreReport is one store's phases, load first then A–F.
+// YCSBStoreReport is one (store, value size) cell of the matrix: its
+// phases, load first then A–F.
 type YCSBStoreReport struct {
-	Store  string      `json:"store"`
-	Phases []YCSBPhase `json:"phases"`
+	Store     string      `json:"store"`
+	ValueSize int         `json:"value_size"`
+	Phases    []YCSBPhase `json:"phases"`
 }
 
 // YCSBReport is the BENCH_ycsb.json payload: the experiment scale and
-// every store's per-workload results, so the perf trajectory can be
-// diffed across commits.
+// every (store, value size) cell's per-workload results, so the perf
+// trajectory can be diffed across commits.
 type YCSBReport struct {
 	SSTableSize    int64             `json:"sstable_size"`
 	BandSize       int64             `json:"band_size"`
 	LoadMB         int64             `json:"load_mb"`
 	ValueSize      int               `json:"value_size"`
+	ValueSizes     []int             `json:"value_sizes"`
 	OpsPerWorkload int               `json:"ops_per_workload"`
 	Seed           int64             `json:"seed"`
 	Stores         []YCSBStoreReport `json:"stores"`
+}
+
+// ycsbStore is one store variant of the YCSB matrix. The vlog variant
+// is the SEALDB engine with key–value separation on.
+type ycsbStore struct {
+	name string
+	mode lsm.Mode
+	vlog bool
+}
+
+func ycsbStores() []ycsbStore {
+	return []ycsbStore{
+		{name: lsm.ModeLevelDB.String(), mode: lsm.ModeLevelDB},
+		{name: lsm.ModeSMRDB.String(), mode: lsm.ModeSMRDB},
+		{name: lsm.ModeSEALDB.String(), mode: lsm.ModeSEALDB},
+		{name: lsm.ModeSEALDB.String() + "+vlog", mode: lsm.ModeSEALDB, vlog: true},
+	}
+}
+
+// openYCSBStore builds a fresh store for one matrix cell.
+func (o Options) openYCSBStore(s ycsbStore) (*lsm.DB, error) {
+	cfg := o.config(s.mode)
+	if s.vlog {
+		cfg.ValueThreshold = o.VlogThreshold
+		if cfg.ValueThreshold == 0 {
+			cfg.ValueThreshold = 64
+		}
+	}
+	db, err := lsm.Open(cfg)
+	if err == nil && o.Observe != nil {
+		o.Observe(db)
+	}
+	return db, err
 }
 
 // timedStore wraps a store, measuring each call's simulated device
@@ -71,64 +107,83 @@ func (s *timedStore) ScanN(start []byte, n int) (seen int, err error) {
 	return seen, err
 }
 
-// RunYCSBReport runs the load phase and YCSB A–F against each store,
-// producing the machine-readable report: throughput from simulated
-// device time, per-call p50/p99 from device-time deltas, and the
-// cumulative modeled WA/AWA after each phase.
+// RunYCSBReport runs the load phase and YCSB A–F against every
+// (store, value size) cell, producing the machine-readable report:
+// throughput from simulated device time, per-call p50/p99 from
+// device-time deltas, and the cumulative modeled WA/AWA after each
+// phase.
 func RunYCSBReport(o Options) (*YCSBReport, error) {
+	sizes := o.ValueSizes
+	if len(sizes) == 0 {
+		sizes = []int{o.ValueSize}
+	}
 	rep := &YCSBReport{
 		SSTableSize:    o.Geometry.SSTableSize,
 		BandSize:       o.Geometry.BandSize,
 		LoadMB:         o.LoadMB,
 		ValueSize:      o.ValueSize,
+		ValueSizes:     sizes,
 		OpsPerWorkload: o.YCSBOps,
 		Seed:           o.Seed,
 	}
-	for _, mode := range []lsm.Mode{lsm.ModeLevelDB, lsm.ModeSMRDB, lsm.ModeSEALDB} {
-		db, err := o.openStore(mode)
-		if err != nil {
-			return nil, err
-		}
-		ts := &timedStore{
-			inner: storeAdapter{db},
-			clock: func() time.Duration { return simTime(db) },
-		}
-		runner := ycsb.NewRunner(ts, o.ValueSize, o.Seed)
-		sr := YCSBStoreReport{Store: mode.String()}
-
-		records := o.Records()
-		ts.h = &Histogram{}
-		d, err := phase(db, func() error { return runner.LoadRandom(records) })
-		if err != nil {
-			db.Close()
-			return nil, err
-		}
-		sr.Phases = append(sr.Phases, phaseResult(db, "load", records, d, ts.h))
-
-		for _, w := range ycsb.CoreWorkloads() {
-			ops := o.YCSBOps
-			if w.ScanProp > 0 {
-				// Workload E's scans touch MaxScanLen records per op;
-				// trim the op count to keep runtimes proportionate.
-				ops = o.YCSBOps / 10
-			}
-			ts.h = &Histogram{}
-			var res ycsb.Result
-			d, err := phase(db, func() error {
-				var err error
-				res, err = runner.Run(w, ops)
-				return err
-			})
+	for _, vs := range sizes {
+		for _, st := range ycsbStores() {
+			sr, err := o.runYCSBCell(st, vs)
 			if err != nil {
-				db.Close()
 				return nil, err
 			}
-			sr.Phases = append(sr.Phases, phaseResult(db, w.Name, int64(res.Ops), d, ts.h))
+			rep.Stores = append(rep.Stores, sr)
 		}
-		rep.Stores = append(rep.Stores, sr)
-		db.Close()
 	}
 	return rep, nil
+}
+
+// runYCSBCell runs the full phase sequence for one (store, value
+// size) cell on a fresh store.
+func (o Options) runYCSBCell(st ycsbStore, valueSize int) (YCSBStoreReport, error) {
+	sr := YCSBStoreReport{Store: st.name, ValueSize: valueSize}
+	db, err := o.openYCSBStore(st)
+	if err != nil {
+		return sr, err
+	}
+	defer db.Close()
+	ts := &timedStore{
+		inner: storeAdapter{db},
+		clock: func() time.Duration { return simTime(db) },
+	}
+	runner := ycsb.NewRunner(ts, valueSize, o.Seed)
+
+	records := o.RecordsFor(valueSize)
+	ts.h = &Histogram{}
+	d, err := phase(db, func() error { return runner.LoadRandom(records) })
+	if err != nil {
+		return sr, err
+	}
+	sr.Phases = append(sr.Phases, phaseResult(db, "load", records, d, ts.h))
+
+	for _, w := range ycsb.CoreWorkloads() {
+		ops := o.OpsFor(valueSize)
+		if w.ScanProp > 0 {
+			// Workload E's scans touch MaxScanLen records per op;
+			// trim the op count to keep runtimes proportionate.
+			ops /= 10
+			if ops < 16 {
+				ops = 16
+			}
+		}
+		ts.h = &Histogram{}
+		var res ycsb.Result
+		d, err := phase(db, func() error {
+			var err error
+			res, err = runner.Run(w, ops)
+			return err
+		})
+		if err != nil {
+			return sr, err
+		}
+		sr.Phases = append(sr.Phases, phaseResult(db, w.Name, int64(res.Ops), d, ts.h))
+	}
+	return sr, nil
 }
 
 func phaseResult(db *lsm.DB, name string, ops int64, d time.Duration, h *Histogram) YCSBPhase {

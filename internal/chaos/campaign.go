@@ -53,6 +53,9 @@ func Run(cfg Config) (*history.History, error) {
 	// goroutine scheduling does not control.
 	lsmCfg.BlockCacheSize = 8 * kv.MiB
 	lsmCfg.Seed = cfg.Seed
+	if cfg.Vlog {
+		lsmCfg.ValueThreshold = 64
+	}
 	lsmCfg.WrapDrive = func(inner smr.Drive) smr.Drive {
 		r.fd = faultfs.New(inner, cfg.Seed)
 		return r.fd

@@ -53,6 +53,41 @@ func TestCampaignGreenAndDeterministic(t *testing.T) {
 	}
 }
 
+// TestCampaignVlogGreenAndDeterministic runs the same acceptance in
+// the value-separated regime: every campaign value (256 B here)
+// clears the 64 B threshold, so every fault class composes with vlog
+// appends, rotations, and pointer-chasing reads — and the history
+// must stay green and byte-reproducible.
+func TestCampaignVlogGreenAndDeterministic(t *testing.T) {
+	cfg := smallConfig(42)
+	cfg.Vlog = true
+	h1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("vlog campaign run 1: %v", err)
+	}
+	if got := history.Check(h1); len(got) != 0 {
+		for _, v := range got {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("green vlog campaign reported %d violations", len(got))
+	}
+	h2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("vlog campaign run 2: %v", err)
+	}
+	b1, err := h1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := h2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different vlog histories (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
 // TestCampaignSeedsDiffer guards against the schedule collapsing to a
 // constant: different seeds must produce different histories.
 func TestCampaignSeedsDiffer(t *testing.T) {

@@ -119,6 +119,12 @@ type Config struct {
 	KeysPerWorker int
 	// ValueSize pads every value to this size (default 512).
 	ValueSize int
+	// Vlog runs the campaign in the value-separated mode: the engine
+	// stores values of 64 bytes and up in the value log (every
+	// campaign value, at the default ValueSize), so faults land
+	// between vlog appends, rotations, and WAL commits, and recovery
+	// exercises pointer/segment reconciliation.
+	Vlog bool
 	// Faults selects the fault classes to cycle through.
 	Faults FaultSet
 	// Log, if set, receives one progress line per round. Wall-clock

@@ -34,14 +34,28 @@ type CompactionAmplification struct {
 	TrivialMove bool    `json:"trivial_move,omitempty"`
 }
 
+// VlogAmplification is the value-log's share of write traffic when
+// key–value separation is on: user-batch appends, GC rewrites, and
+// the live/dead segment census the GC victim picker works from.
+type VlogAmplification struct {
+	AppendBytes int64 `json:"append_bytes"`
+	GCRuns      int64 `json:"gc_runs"`
+	GCBytes     int64 `json:"gc_bytes"`
+	Segments    int   `json:"segments"`
+	LiveBytes   int64 `json:"live_bytes"`
+	DeadBytes   int64 `json:"dead_bytes"`
+}
+
 // AmplificationProfile is the /debug/amplification payload: the
 // overall Table-I figures, the per-level continuous WA counters, the
-// most recent per-compaction WA/AWA records, and the fixed-band
-// drive's media-cache state when the mode has one.
+// most recent per-compaction WA/AWA records, the value-log breakdown
+// when key–value separation is on, and the fixed-band drive's
+// media-cache state when the mode has one.
 type AmplificationProfile struct {
 	Overall     Amplification             `json:"overall"`
 	Levels      []LevelAmplification      `json:"levels"`
 	Compactions []CompactionAmplification `json:"recent_compactions"`
+	Vlog        *VlogAmplification        `json:"vlog,omitempty"`
 	MediaCache  *smr.MediaCacheStats      `json:"media_cache,omitempty"`
 }
 
@@ -69,6 +83,15 @@ func (d *DB) AmplificationProfile() AmplificationProfile {
 		comps = comps[len(comps)-recentCompactionWindow:]
 	}
 	comps = append([]CompactionInfo(nil), comps...)
+	if d.cfg.vlogEnabled() {
+		va := &VlogAmplification{
+			AppendBytes: d.stats.VlogAppendBytes,
+			GCRuns:      d.stats.VlogGCRuns,
+			GCBytes:     d.stats.VlogGCBytes,
+		}
+		va.LiveBytes, va.DeadBytes, va.Segments = d.vlog.tab.Totals()
+		p.Vlog = va
+	}
 	d.mu.Unlock()
 
 	for l := range levels {

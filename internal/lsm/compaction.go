@@ -178,7 +178,7 @@ func (d *DB) runCompaction(c *compaction) error {
 	}
 
 	d.disk.SetTag(int64(id))
-	outputs, err := d.mergeInputs(c)
+	outputs, vlogDead, err := d.mergeInputs(c)
 	if err != nil {
 		return err
 	}
@@ -240,6 +240,12 @@ func (d *DB) runCompaction(c *compaction) error {
 	_, hi := keyRange(c.inputs0)
 	edit.CompactPointers = []version.CompactPointer{
 		{Level: c.level, Key: kv.MakeInternalKey(nil, hi, 0, kv.KindDelete)},
+	}
+
+	// Dropped pointer entries kill their value-log records; the
+	// deltas ride the same edit so recovery rebuilds the dead counts.
+	if len(vlogDead) > 0 {
+		edit.VlogDead = d.vlogChargeDead(vlogDead)
 	}
 
 	// Mark dead inputs in the set registry before logging so the
@@ -393,11 +399,13 @@ func (d *DB) inputIterators(c *compaction) ([]kv.Iterator, error) {
 // mergeInputs runs the merge loop: inputs are read in key order,
 // shadowed versions and dead tombstones are dropped (respecting
 // snapshots), and outputs are cut at the SSTable target size, never
-// splitting a user key across outputs. Caller holds d.mu.
-func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
+// splitting a user key across outputs. dead accumulates the
+// value-log bytes whose pointers were dropped here, per segment
+// (nil when key–value separation is off). Caller holds d.mu.
+func (d *DB) mergeInputs(c *compaction) ([]*output, map[uint64]int64, error) {
 	children, err := d.inputIterators(c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	merge := newMergingIter(children...)
 
@@ -410,6 +418,7 @@ func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
 		lastSeq     kv.SeqNum
 		wantCut     bool
 		lastOutUser []byte
+		dead        map[uint64]int64
 	)
 	finish := func() error {
 		if builder == nil || builder.Empty() {
@@ -455,6 +464,16 @@ func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
 		}
 		lastSeq = ik.Seq()
 		if drop {
+			// A dropped version is the last reference to its value-log
+			// record: its bytes become dead in the record's segment.
+			if d.cfg.vlogEnabled() && ik.Kind() == kv.KindSet {
+				if seg, n := d.vlogDeadValue(merge.Value()); n > 0 {
+					if dead == nil {
+						dead = map[uint64]int64{}
+					}
+					dead[seg] += n
+				}
+			}
 			continue
 		}
 
@@ -462,7 +481,7 @@ func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
 		// versions of one user key.
 		if wantCut && (lastOutUser == nil || kv.CompareUser(user, lastOutUser) != 0) {
 			if err := finish(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if builder == nil {
@@ -475,12 +494,12 @@ func (d *DB) mergeInputs(c *compaction) ([]*output, error) {
 		}
 	}
 	if err := merge.Error(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := finish(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return outputs, nil
+	return outputs, dead, nil
 }
 
 // isBaseLevelForKey reports whether no level deeper than the

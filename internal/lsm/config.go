@@ -172,6 +172,42 @@ type Config struct {
 	// attempt; it is charged as simulated device time (0 means the
 	// default of 200µs).
 	RetryBackoff time.Duration
+	// ValueThreshold enables key–value separation: values of at least
+	// this many bytes are appended to the value log and the tree
+	// stores a fixed-size pointer instead, so large values stop
+	// riding through compactions. 0 (the default) disables the value
+	// log entirely and the tree stores every value inline.
+	ValueThreshold int
+	// VlogSegSize is the value-log segment size (0 means one SSTable,
+	// so segments ride the dynamic-band free-list class unit).
+	VlogSegSize int64
+	// VlogGCDeadRatio is the dead-byte fraction at which a sealed
+	// segment becomes a garbage-collection victim (0 means the
+	// default of 0.5; negative disables automatic collection).
+	VlogGCDeadRatio float64
+}
+
+// vlogEnabled reports whether this config separates values.
+func (c *Config) vlogEnabled() bool { return c.ValueThreshold > 0 }
+
+// vlogSegSize resolves the segment size.
+func (c *Config) vlogSegSize() int64 {
+	if c.VlogSegSize > 0 {
+		return c.VlogSegSize
+	}
+	return c.SSTableSize
+}
+
+// vlogGCDeadRatio resolves the GC trigger ratio; +Inf when automatic
+// collection is disabled.
+func (c *Config) vlogGCDeadRatio() float64 {
+	switch {
+	case c.VlogGCDeadRatio < 0:
+		return 2 // unreachable ratio: never triggers
+	case c.VlogGCDeadRatio == 0:
+		return 0.5
+	}
+	return c.VlogGCDeadRatio
 }
 
 // writeRetries resolves the retry budget.
@@ -262,8 +298,20 @@ func (c *Config) validate() error {
 		return fmt.Errorf("lsm: SMRDB needs MaxCompactionFiles >= 2")
 	case g.DeviceTimeScale < 0:
 		return fmt.Errorf("lsm: negative DeviceTimeScale")
+	case c.VlogThresholdTooSmall():
+		return fmt.Errorf("lsm: ValueThreshold %d must exceed the %d-byte pointer a separated value leaves behind", c.ValueThreshold, vlogPointerLen)
+	case c.vlogEnabled() && c.VlogSegSize < 0:
+		return fmt.Errorf("lsm: negative VlogSegSize")
+	case c.vlogEnabled() && c.vlogSegSize() < int64(c.ValueThreshold)+64:
+		return fmt.Errorf("lsm: VlogSegSize %d cannot hold a threshold-sized record", c.vlogSegSize())
 	}
 	return nil
+}
+
+// VlogThresholdTooSmall reports a threshold so low that separation
+// would grow entries instead of shrinking them.
+func (c *Config) VlogThresholdTooSmall() bool {
+	return c.vlogEnabled() && c.ValueThreshold <= vlogPointerLen
 }
 
 // walSize returns the preallocated WAL extent size: a full memtable

@@ -50,6 +50,26 @@ func TestCrashReplay(t *testing.T) {
 	}
 }
 
+// TestCrashReplayVlog sweeps the value-separated mode: the workload's
+// 60–180 B values separate at a 64 B threshold, so cuts land between
+// vlog appends, WAL appends, and segment rotations. Acked writes must
+// recover through their pointers with no dangling reference —
+// VerifyIntegrity checks pointer/segment reconciliation after every
+// reopen.
+func TestCrashReplayVlog(t *testing.T) {
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	cfg := crashConfig(lsm.ModeSEALDB, stride)
+	cfg.DB.ValueThreshold = 64
+	res := crashtest.Run(t, cfg)
+	t.Logf("crash replay (sealdb+vlog): %s", res)
+	if res.Cuts == 0 {
+		t.Fatal("harness injected no cuts")
+	}
+}
+
 // TestCrashReplayFixedBand covers the fixed-band drive and ext4-like
 // allocator recovery path (ModeLevelDB). Strided: the sweep's value
 // here is hitting the other allocator's reopen code, not exhaustive

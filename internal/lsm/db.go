@@ -17,6 +17,7 @@ import (
 	"sealdb/internal/sstable"
 	"sealdb/internal/storage"
 	"sealdb/internal/version"
+	"sealdb/internal/vlog"
 	"sealdb/internal/wal"
 )
 
@@ -162,6 +163,9 @@ type DB struct {
 	bgErr error
 	// recovery describes what the last OpenDevice found on disk.
 	recovery RecoveryInfo
+	// vlog is the value-log driver (vlog.go); populated only when
+	// Config.ValueThreshold enables key–value separation.
+	vlog vlogState
 
 	// Iterator pinning (see pins.go): live iterators defer reclamation
 	// of the table files they may still read.
@@ -230,6 +234,11 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 		// out again, so the mapping must be gone before WAL replay
 		// flushes or a new WAL is created.
 		d.sweepOrphans()
+		if cfg.vlogEnabled() {
+			if err := d.vlogRecover(); err != nil {
+				return nil, err
+			}
+		}
 		if err := d.recoverSetsAndWAL(); err != nil {
 			return nil, err
 		}
@@ -249,6 +258,9 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 			return nil, err
 		}
 		d.vs = vs
+		if cfg.vlogEnabled() {
+			d.vlog.tab = vlog.NewTable()
+		}
 	}
 	if err := d.newWAL(); err != nil {
 		return nil, err
@@ -280,6 +292,11 @@ type RecoveryInfo struct {
 	// reconciliation (SEALDB mode): space the dynamic band manager
 	// held that no file or set covered after a crash.
 	LeakedBytes int64 `json:"leaked_bytes"`
+	// VlogSegments counts value-log segments the manifest carried
+	// into recovery; VlogTornBytes counts active-segment bytes
+	// truncated as a torn trailing record.
+	VlogSegments  int   `json:"vlog_segments"`
+	VlogTornBytes int64 `json:"vlog_torn_bytes"`
 }
 
 // Recovery returns what the last OpenDevice found on this device.
@@ -471,6 +488,12 @@ func (d *DB) sweepOrphans() {
 		for _, f := range cur.Files[l] {
 			live[f.Num] = true
 		}
+	}
+	// Value-log segments the manifest registered are live; a segment
+	// created whose registering edit never landed is debris like any
+	// half-written SSTable.
+	for num := range d.vs.VlogSegs() {
+		live[num] = true
 	}
 	for _, fr := range d.backend.Files() {
 		if live[fr.Num] {

@@ -1,12 +1,14 @@
 package lsm
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
 	"sealdb/internal/kv"
 	"sealdb/internal/smr"
 	"sealdb/internal/version"
+	"sealdb/internal/vlog"
 )
 
 // LevelInfo describes one level of the tree.
@@ -193,7 +195,106 @@ func (d *DB) VerifyIntegrity() error {
 	if err := d.verifySets(v); err != nil {
 		return err
 	}
+	if d.cfg.vlogEnabled() {
+		if err := d.verifyVlog(v); err != nil {
+			return err
+		}
+	}
 	return d.verifyExtents(v)
+}
+
+// verifyVlog cross-checks key–value separation state: the segment
+// table against the manifest's segment records, and every *serving*
+// pointer — the newest visible version of its key — against the value
+// log: the pointed-at record must decode, sit inside its segment's
+// logical bytes, and carry the same user key. Shadowed versions are
+// exempt: GC repairs pointers by re-putting, so a superseded entry may
+// reference a collected segment until compaction drops it. Caller
+// holds d.mu.
+func (d *DB) verifyVlog(v *version.Version) error {
+	segs := d.vs.VlogSegs()
+	unsealed := 0
+	for num, s := range segs {
+		info, ok := d.vlog.tab.Info(num)
+		if !ok {
+			return fmt.Errorf("vlog segment %d in manifest but not in segment table", num)
+		}
+		if s.Sealed && info.Bytes != s.Bytes {
+			return fmt.Errorf("vlog segment %d: table holds %d bytes, manifest records %d", num, info.Bytes, s.Bytes)
+		}
+		if info.Dead > info.Bytes {
+			return fmt.Errorf("vlog segment %d: dead bytes %d exceed total %d", num, info.Dead, info.Bytes)
+		}
+		if !s.Sealed {
+			unsealed++
+		}
+	}
+	if unsealed > 1 {
+		return fmt.Errorf("vlog: %d unsealed segments in manifest, want at most one", unsealed)
+	}
+	for _, s := range d.vlog.tab.Segments() {
+		if _, ok := segs[s.Num]; !ok {
+			return fmt.Errorf("vlog segment %d in segment table but not in manifest", s.Num)
+		}
+	}
+
+	check := func(where string, ik kv.InternalKey, stored []byte) error {
+		if ik.Kind() != kv.KindSet || len(stored) == 0 || stored[0] != vlogTagPtr {
+			return nil
+		}
+		serving, _, ok, err := d.getStoredLocked(ik.UserKey())
+		if err != nil {
+			return err
+		}
+		if !ok || !bytes.Equal(serving, stored) {
+			return nil // shadowed version: its record may be collected
+		}
+		p, err := vlog.DecodePointer(stored[1:])
+		if err != nil {
+			return fmt.Errorf("%s key %s: %w", where, ik, err)
+		}
+		info, ok := d.vlog.tab.Info(p.Seg)
+		if !ok {
+			return fmt.Errorf("%s key %s: pointer into unknown vlog segment %d", where, ik, p.Seg)
+		}
+		if end := int64(p.Off) + int64(p.Len); end > info.Bytes {
+			return fmt.Errorf("%s key %s: pointer [%d,%d) beyond segment %d bytes %d",
+				where, ik, p.Off, end, p.Seg, info.Bytes)
+		}
+		rkey, _, err := d.vlogRead(p)
+		if err != nil {
+			return fmt.Errorf("%s key %s: vlog segment %d offset %d: %w", where, ik, p.Seg, p.Off, err)
+		}
+		if !bytes.Equal(rkey, ik.UserKey()) {
+			return fmt.Errorf("%s key %s: vlog record holds key %q", where, ik, rkey)
+		}
+		return nil
+	}
+
+	mi := d.mem.NewIterator()
+	for mi.SeekToFirst(); mi.Valid(); mi.Next() {
+		if err := check("memtable", mi.Key(), mi.Value()); err != nil {
+			return err
+		}
+	}
+	for l := 0; l < d.cfg.NumLevels; l++ {
+		for _, f := range v.Files[l] {
+			t, err := d.openTable(f)
+			if err != nil {
+				return fmt.Errorf("L%d %s: %w", l, f, err)
+			}
+			it := t.NewIterator()
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				if err := check(fmt.Sprintf("L%d %s", l, f), it.Key(), it.Value()); err != nil {
+					return err
+				}
+			}
+			if err := it.Error(); err != nil {
+				return fmt.Errorf("L%d %s: %w", l, f, err)
+			}
+		}
+	}
+	return nil
 }
 
 // verifyTable scans one table, checking block CRCs (implicitly),

@@ -440,7 +440,9 @@ func (it *Iterator) settleBackward(upper []byte) {
 	emit := func() bool {
 		if haveRun && haveBest && !bestDel {
 			it.key = append(it.key[:0], curUser...)
-			it.val = append(it.val[:0], bestVal...)
+			if !it.setValue(bestVal) {
+				return true // stop: chase error recorded in it.err
+			}
 			it.ok = true
 			return true
 		}
@@ -503,13 +505,33 @@ func (it *Iterator) settle(prevUser []byte) {
 			continue
 		}
 		it.key = append(it.key[:0], u...)
-		it.val = append(it.val[:0], it.m.Value()...)
+		if !it.setValue(it.m.Value()) {
+			return
+		}
 		it.ok = true
 		return
 	}
 	if err := it.m.Error(); err != nil {
 		it.err = err
 	}
+}
+
+// setValue stores the emitted value, chasing a value-log pointer when
+// key–value separation is on. The iterator's snapshot keeps value-log
+// GC at bay, so a pointer read here cannot race a segment drop.
+// Caller holds d.mu; returns false (with it.err set) on a chase error.
+func (it *Iterator) setValue(stored []byte) bool {
+	if !it.d.cfg.vlogEnabled() {
+		it.val = append(it.val[:0], stored...)
+		return true
+	}
+	v, err := it.d.resolveValue(stored)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.val = v
+	return true
 }
 
 // Valid reports whether the iterator is positioned on an entry.

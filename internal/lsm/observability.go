@@ -30,6 +30,17 @@ type dbMetrics struct {
 	degraded             *obs.Counter
 	sstableCorrupt       *obs.Counter
 
+	// Value-log (key–value separation) accounting (vlog.go).
+	vlogAppends     *obs.Counter
+	vlogAppendBytes *obs.Counter
+	vlogReads       *obs.Counter
+	vlogRotations   *obs.Counter
+	vlogDeadBytes   *obs.Counter
+	vlogGCRuns      *obs.Counter
+	vlogGCRelocated *obs.Counter
+	vlogGCReclaimed *obs.Counter
+	vlogGCSkipped   *obs.Counter
+
 	// Tracer accounting (trace.go).
 	traceOps        *obs.Counter
 	traceSampled    *obs.Counter
@@ -87,6 +98,15 @@ func (d *DB) initObs() {
 	m.walReplaySkipped = d.reg.Counter("sealdb_wal_replay_skipped_bytes_total")
 	m.degraded = d.reg.Counter("sealdb_degraded_total")
 	m.sstableCorrupt = d.reg.Counter("sealdb_sstable_corrupt_blocks_total")
+	m.vlogAppends = d.reg.Counter("sealdb_vlog_appends_total")
+	m.vlogAppendBytes = d.reg.Counter("sealdb_vlog_append_bytes_total")
+	m.vlogReads = d.reg.Counter("sealdb_vlog_reads_total")
+	m.vlogRotations = d.reg.Counter("sealdb_vlog_rotations_total")
+	m.vlogDeadBytes = d.reg.Counter("sealdb_vlog_dead_bytes_total")
+	m.vlogGCRuns = d.reg.Counter("sealdb_vlog_gc_runs_total")
+	m.vlogGCRelocated = d.reg.Counter("sealdb_vlog_gc_relocated_bytes_total")
+	m.vlogGCReclaimed = d.reg.Counter("sealdb_vlog_gc_reclaimed_bytes_total")
+	m.vlogGCSkipped = d.reg.Counter("sealdb_vlog_gc_skipped_total")
 	m.writeLatency = d.reg.Histogram("sealdb_write_latency_ns")
 	m.readLatency = d.reg.Histogram("sealdb_read_latency_ns")
 	m.flushLatency = d.reg.Histogram("sealdb_flush_latency_ns")
@@ -233,6 +253,22 @@ func (d *DB) registerGauges() {
 		defer d.mu.Unlock()
 		return float64(len(d.snapshots))
 	})
+	// Value-log segment table (its own lock, ordered after d.mu, so
+	// these never take the DB mutex).
+	if d.cfg.vlogEnabled() {
+		reg.GaugeFunc("sealdb_vlog_segments", func() float64 {
+			_, _, n := d.vlog.tab.Totals()
+			return float64(n)
+		})
+		reg.GaugeFunc("sealdb_vlog_live_bytes", func() float64 {
+			live, _, _ := d.vlog.tab.Totals()
+			return float64(live)
+		})
+		reg.GaugeFunc("sealdb_vlog_dead_bytes", func() float64 {
+			_, dead, _ := d.vlog.tab.Totals()
+			return float64(dead)
+		})
+	}
 	reg.GaugeFunc("sealdb_live_sets", func() float64 { return float64(d.SetProfile().LiveSets) })
 	reg.GaugeFunc("sealdb_set_live_members", func() float64 { return float64(d.SetProfile().LiveMembers) })
 	reg.GaugeFunc("sealdb_set_invalid_members", func() float64 { return float64(d.SetProfile().InvalidMembers) })

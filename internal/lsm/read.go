@@ -64,6 +64,9 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 			return nil, ErrNotFound
 		}
 		d.stats.GetHits++
+		if d.cfg.vlogEnabled() {
+			return d.resolveValue(v)
+		}
 		return append([]byte(nil), v...), nil
 	}
 	ot.stageEnd(si, d.traceNow(ot), d.metrics.stageReadMemNS)
@@ -90,6 +93,9 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 				return nil, ErrNotFound
 			}
 			d.stats.GetHits++
+			if d.cfg.vlogEnabled() {
+				return d.resolveValue(val)
+			}
 			return val, nil
 		}
 	}
@@ -115,6 +121,9 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 					return nil, ErrNotFound
 				}
 				d.stats.GetHits++
+				if d.cfg.vlogEnabled() {
+					return d.resolveValue(val)
+				}
 				return val, nil
 			}
 			continue
@@ -142,6 +151,9 @@ func (d *DB) getLocked(key []byte, seq kv.SeqNum, ot *opTrace) ([]byte, error) {
 				return nil, ErrNotFound
 			}
 			d.stats.GetHits++
+			if d.cfg.vlogEnabled() {
+				return d.resolveValue(best)
+			}
 			return best, nil
 		}
 	}

@@ -61,6 +61,13 @@ type Stats struct {
 	GCMoves int64
 	GCBytes int64
 
+	// VlogAppendBytes counts value-log record bytes written on behalf
+	// of user batches; VlogGCRuns/VlogGCBytes count collection passes
+	// and the live record bytes they rewrote into fresh segments.
+	VlogAppendBytes int64
+	VlogGCRuns      int64
+	VlogGCBytes     int64
+
 	Compactions []CompactionInfo
 }
 
@@ -70,7 +77,9 @@ type Amplification struct {
 	// UserBytes is the payload written by the user.
 	UserBytes int64
 	// StoreBytes is what the store wrote logically: flushes plus
-	// compaction outputs (the numerator of the paper's WA).
+	// compaction outputs, plus value-log appends and GC rewrites
+	// when key–value separation is on (the numerator of the paper's
+	// WA).
 	StoreBytes int64
 	// HostBytes is everything the host issued to the device,
 	// including WAL and MANIFEST traffic.
@@ -91,7 +100,7 @@ func (d *DB) Amplification() Amplification {
 	d.mu.Unlock()
 	a := Amplification{
 		UserBytes:   st.UserBytes,
-		StoreBytes:  st.FlushBytes + st.CompactionWriteBytes,
+		StoreBytes:  st.FlushBytes + st.CompactionWriteBytes + st.VlogAppendBytes + st.VlogGCBytes,
 		HostBytes:   d.drive.HostBytesWritten(),
 		DeviceBytes: d.disk.Stats().BytesWritten,
 	}

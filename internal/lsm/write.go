@@ -61,6 +61,25 @@ func (d *DB) applyLocked(b *Batch, ot *opTrace) error {
 	base := d.seq + 1
 	d.seq += kv.SeqNum(b.count)
 	b.setSeq(base)
+	if d.cfg.vlogEnabled() {
+		// Separate large values into the log before the WAL append:
+		// the record write is synchronous, so by the time the pointer
+		// is logged (and the batch acknowledged) its bytes are on the
+		// device. A crash in between strands dead log bytes, never a
+		// dangling pointer.
+		records, appended, err := d.separateBatch(b)
+		if err != nil {
+			return d.failWrite(err)
+		}
+		if appended > 0 {
+			d.stats.VlogAppendBytes += appended
+			d.metrics.vlogAppends.Add(records)
+			d.metrics.vlogAppendBytes.Add(appended)
+			d.journal.Record("vlog_append", map[string]int64{
+				"records": records, "bytes": appended,
+			})
+		}
+	}
 	si = ot.stageStart(stageWALAppend, d.traceNow(ot))
 	if err := d.walW.AddRecord(b.rep); err != nil {
 		return d.failWrite(err)
@@ -81,7 +100,9 @@ func (d *DB) applyLocked(b *Batch, ot *opTrace) error {
 	// Write latency includes any rotation/compaction stall the batch
 	// absorbed in makeRoomForWrite — the user-visible cost.
 	d.metrics.writeLatency.Observe(int64(d.disk.Stats().BusyTime - startBusy))
-	return nil
+	// Opportunistic value-log collection: at most one pass, so the
+	// stall any single Apply absorbs stays bounded.
+	return d.maybeVlogGC()
 }
 
 // makeRoomForWrite rotates the memtable when it (or its WAL) is full,

@@ -71,6 +71,8 @@ type Report struct {
 	RecomputedAWA    float64 `json:"recomputed_awa"`
 	RecomputedWA     float64 `json:"recomputed_wa"`
 	RecomputedStore  int64   `json:"recomputed_store_bytes"`
+	VlogAppendBytes  int64   `json:"vlog_append_bytes"`
+	VlogGCBytes      int64   `json:"vlog_gc_bytes"`
 	WindowEvents     int64   `json:"window_events"`
 	EventsComplete   bool    `json:"events_complete"`
 	SampledSpanTrees int64   `json:"sampled_span_trees"`
@@ -158,8 +160,9 @@ func (r *Report) analyzeTrace(d *Dump) {
 
 // analyzeEvents recomputes the logical side from the event journal:
 // per-level write bytes from flush/compaction events inside the
-// window, the per-set write heatmap, and the sampled span-tree
-// statistics.
+// window, value-log appends and GC rewrites (store traffic that never
+// enters a level, so they feed RecomputedStore only), the per-set
+// write heatmap, and the sampled span-tree statistics.
 func (r *Report) analyzeEvents(d *Dump) {
 	levelWrite := make([]int64, r.Meta.NumLevels)
 	sets := map[int64]*SetStat{}
@@ -194,6 +197,14 @@ func (r *Report) analyzeEvents(d *Dump) {
 				s.Compactions++
 				s.WriteBytes += e.Fields["output_bytes"]
 			}
+		case e.Type == "vlog_append" && inWindow(e):
+			r.WindowEvents++
+			r.RecomputedStore += e.Fields["bytes"]
+			r.VlogAppendBytes += e.Fields["bytes"]
+		case e.Type == "vlog_gc" && inWindow(e):
+			r.WindowEvents++
+			r.RecomputedStore += e.Fields["relocated_bytes"]
+			r.VlogGCBytes += e.Fields["relocated_bytes"]
 		case strings.HasPrefix(e.Type, "op_"):
 			op := ops[e.Type[len("op_"):]]
 			if op == nil {
@@ -315,6 +326,9 @@ func (r *Report) WriteText(w io.Writer) {
 	if !r.EventsComplete {
 		fmt.Fprintf(w, "  note: journal dropped %d events; event-derived numbers are lower bounds\n",
 			r.Meta.JournalDropped)
+	}
+	if r.VlogAppendBytes > 0 || r.VlogGCBytes > 0 {
+		fmt.Fprintf(w, "  vlog: appends %s  gc rewrites %s\n", mb(r.VlogAppendBytes), mb(r.VlogGCBytes))
 	}
 
 	fmt.Fprintf(w, "per-level write bytes (live vs recomputed):\n")

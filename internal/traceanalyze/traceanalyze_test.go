@@ -96,6 +96,59 @@ func TestVerifyLevelDB(t *testing.T) {
 	}
 }
 
+// TestVerifyVlog is the same 1% live-vs-recomputed contract in the
+// value-separated mode: vlog appends and GC rewrites must be
+// attributed in the recomputation, or StoreBytes would diverge from
+// the journal immediately.
+func TestVerifyVlog(t *testing.T) {
+	cfg := lsm.DefaultConfig(lsm.ModeSEALDB)
+	cfg.Geometry = lsm.ScaledGeometry(32*kv.KiB, 1*kv.GiB)
+	cfg.JournalCapacity = 1 << 16
+	cfg.Trace = lsm.TraceConfig{Enabled: true, SampleEvery: 8}
+	cfg.ValueThreshold = 128
+	db, err := lsm.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	base := Begin(db)
+	r := ycsb.NewRunner(store{db}, 512, 1)
+	if err := r.LoadRandom(3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ycsb.WorkloadA, 600); err != nil {
+		t.Fatal(err)
+	}
+	// Drain every GC victim so relocation traffic is in the window too.
+	for {
+		res, err := db.VlogGC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Victim == 0 {
+			break
+		}
+	}
+	d := Collect(db, base)
+
+	rep := Analyze(d)
+	if err := rep.Verify(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if rep.VlogAppendBytes == 0 {
+		t.Fatal("no vlog appends attributed from the journal")
+	}
+	if got, want := rep.VlogGCBytes, db.Stats().VlogGCBytes; got != want {
+		t.Fatalf("recomputed GC rewrite bytes %d, live counter %d", got, want)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "vlog: appends") {
+		t.Fatalf("report text missing the vlog line:\n%s", buf.String())
+	}
+}
+
 // TestSpanTreesInDump asserts the dump's journal carries complete
 // span trees: an op root with io children that have bytes and seek
 // distances attributed.

@@ -26,6 +26,32 @@ type Edit struct {
 	// dead and the extent has been returned to the free-space list.
 	NewSets  []SetRecord
 	DropSets []uint64
+
+	// NewVlogSegs registers value-log segments the moment they are
+	// created — before any pointer into them can be acknowledged —
+	// so recovery never finds a pointer whose segment the manifest
+	// does not know. SealVlogSegs freezes a full segment at its
+	// final length, making it a GC candidate; VlogDead carries the
+	// dead-byte deltas that compaction drops and GC re-puts charge
+	// to segments; DropVlogSegs retires a collected segment.
+	NewVlogSegs  []uint64
+	SealVlogSegs []VlogSegRecord
+	VlogDead     []VlogDeadRecord
+	DropVlogSegs []uint64
+}
+
+// VlogSegRecord seals a value-log segment at its final record length.
+type VlogSegRecord struct {
+	Num   uint64
+	Bytes int64
+}
+
+// VlogDeadRecord charges dead bytes to a value-log segment. In an
+// incremental edit Dead is a delta; in a manifest snapshot it is the
+// absolute count (a delta applied to a fresh version).
+type VlogDeadRecord struct {
+	Num  uint64
+	Dead int64
 }
 
 // SetRecord describes a set: a group of SSTables written back to back
@@ -67,6 +93,10 @@ const (
 	tagAddedFile      = 6
 	tagNewSet         = 7
 	tagDropSet        = 8
+	tagNewVlogSeg     = 9
+	tagSealVlogSeg    = 10
+	tagVlogDead       = 11
+	tagDropVlogSeg    = 12
 )
 
 // Encode serializes the edit as one manifest record.
@@ -118,6 +148,24 @@ func (e *Edit) Encode() []byte {
 	for _, id := range e.DropSets {
 		putUvarint(tagDropSet)
 		putUvarint(id)
+	}
+	for _, num := range e.NewVlogSegs {
+		putUvarint(tagNewVlogSeg)
+		putUvarint(num)
+	}
+	for _, s := range e.SealVlogSegs {
+		putUvarint(tagSealVlogSeg)
+		putUvarint(s.Num)
+		putUvarint(uint64(s.Bytes))
+	}
+	for _, d := range e.VlogDead {
+		putUvarint(tagVlogDead)
+		putUvarint(d.Num)
+		putUvarint(uint64(d.Dead))
+	}
+	for _, num := range e.DropVlogSegs {
+		putUvarint(tagDropVlogSeg)
+		putUvarint(num)
 	}
 	return b
 }
@@ -240,6 +288,38 @@ func DecodeEdit(p []byte) (*Edit, error) {
 				return nil, err
 			}
 			e.DropSets = append(e.DropSets, id)
+		case tagNewVlogSeg:
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.NewVlogSegs = append(e.NewVlogSegs, num)
+		case tagSealVlogSeg:
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			bytes, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.SealVlogSegs = append(e.SealVlogSegs, VlogSegRecord{Num: num, Bytes: int64(bytes)})
+		case tagVlogDead:
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			dead, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.VlogDead = append(e.VlogDead, VlogDeadRecord{Num: num, Dead: int64(dead)})
+		case tagDropVlogSeg:
+			num, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.DropVlogSegs = append(e.DropVlogSegs, num)
 		default:
 			return nil, fmt.Errorf("version: unknown manifest tag %d", tag)
 		}

@@ -52,6 +52,18 @@ type Set struct {
 	logNum     uint64                    // guarded by mu
 	compactPtr [NumLevels]kv.InternalKey // guarded by mu
 	sets       map[uint64]SetRecord      // guarded by mu
+	vsegs      map[uint64]VlogSeg        // guarded by mu
+}
+
+// VlogSeg is the manifest's view of one value-log segment. Bytes is
+// authoritative once Sealed; while a segment is active its true
+// length lives on the device and recovery rediscovers it by scanning
+// for the last whole record.
+type VlogSeg struct {
+	Num    uint64
+	Bytes  int64
+	Dead   int64
+	Sealed bool
 }
 
 // Create initializes a brand-new database state.
@@ -59,7 +71,7 @@ func Create(cfg Config) (*Set, error) {
 	if cfg.ManifestSize <= 0 {
 		cfg.ManifestSize = 4 << 20
 	}
-	s := &Set{cfg: cfg, current: &Version{}, nextFile: 1, sets: map[uint64]SetRecord{}}
+	s := &Set{cfg: cfg, current: &Version{}, nextFile: 1, sets: map[uint64]SetRecord{}, vsegs: map[uint64]VlogSeg{}}
 	s.mu.Profile("version_set_mu")
 	if err := s.newManifest(); err != nil {
 		return nil, err
@@ -107,7 +119,7 @@ func Recover(cfg Config) (*Set, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("version: reading MANIFEST %d: %w", manifestNum, err)
 	}
 
-	s := &Set{cfg: cfg, current: &Version{}, manifestNum: manifestNum, nextFile: manifestNum + 1, sets: map[uint64]SetRecord{}}
+	s := &Set{cfg: cfg, current: &Version{}, manifestNum: manifestNum, nextFile: manifestNum + 1, sets: map[uint64]SetRecord{}, vsegs: map[uint64]VlogSeg{}}
 	s.mu.Profile("version_set_mu")
 	report := &RecoveryReport{ManifestNum: manifestNum}
 	r := wal.NewTaggedReader(newBytesReader(buf), manifestNum).Strict()
@@ -211,6 +223,35 @@ func (s *Set) applyLocked(e *Edit) error {
 	for _, id := range e.DropSets {
 		delete(s.sets, id)
 	}
+	for _, num := range e.NewVlogSegs {
+		s.vsegs[num] = VlogSeg{Num: num}
+		if num >= s.nextFile {
+			s.nextFile = num + 1
+		}
+	}
+	for _, vr := range e.SealVlogSegs {
+		vs := s.vsegs[vr.Num]
+		vs.Num, vs.Bytes, vs.Sealed = vr.Num, vr.Bytes, true
+		if vs.Dead > vs.Bytes {
+			vs.Dead = vs.Bytes
+		}
+		s.vsegs[vr.Num] = vs
+		if vr.Num >= s.nextFile {
+			s.nextFile = vr.Num + 1
+		}
+	}
+	for _, dr := range e.VlogDead {
+		if vs, ok := s.vsegs[dr.Num]; ok {
+			vs.Dead += dr.Dead
+			if vs.Sealed && vs.Dead > vs.Bytes {
+				vs.Dead = vs.Bytes
+			}
+			s.vsegs[dr.Num] = vs
+		}
+	}
+	for _, num := range e.DropVlogSegs {
+		delete(s.vsegs, num)
+	}
 	return nil
 }
 
@@ -263,6 +304,16 @@ func (s *Set) snapshotEdit() *Edit {
 	}
 	for _, sr := range s.sets {
 		e.NewSets = append(e.NewSets, sr)
+	}
+	for _, vs := range s.vsegs {
+		if vs.Sealed {
+			e.SealVlogSegs = append(e.SealVlogSegs, VlogSegRecord{Num: vs.Num, Bytes: vs.Bytes})
+		} else {
+			e.NewVlogSegs = append(e.NewVlogSegs, vs.Num)
+		}
+		if vs.Dead > 0 {
+			e.VlogDead = append(e.VlogDead, VlogDeadRecord{Num: vs.Num, Dead: vs.Dead})
+		}
 	}
 	return e
 }
@@ -351,6 +402,17 @@ func (s *Set) Sets() map[uint64]SetRecord {
 	out := make(map[uint64]SetRecord, len(s.sets))
 	for id, sr := range s.sets {
 		out[id] = sr
+	}
+	return out
+}
+
+// VlogSegs returns a copy of the live value-log segment records.
+func (s *Set) VlogSegs() map[uint64]VlogSeg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]VlogSeg, len(s.vsegs))
+	for num, vs := range s.vsegs {
+		out[num] = vs
 	}
 	return out
 }
