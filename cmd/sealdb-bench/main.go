@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"sealdb/internal/bench"
 	"sealdb/internal/kv"
@@ -55,9 +56,24 @@ func main() {
 		scale    = flag.String("scale", "", "sweep client counts over TCP per workload and write the scaling report (ops/s, p50/p99, lock-wait share) to this JSON file")
 		scalecl  = flag.String("scaleclients", "1,2,4,8", "comma-separated client counts for -scale")
 		scalewls = flag.String("scaleworkloads", "A,C", "comma-separated YCSB workloads for -scale")
+
+		churn     = flag.String("churn", "", "run the sustained-churn scenario (seeded overwrite+delete+scan on simulated device time, sampling the storage-surface observatory) and write the timeline to this JSON file")
+		churnmins = flag.Float64("churnminutes", 2, "simulated device minutes of sustained churn for -churn")
+		churnkeys = flag.Int("churnkeys", 4000, "working-set key count for -churn")
+		churndump = flag.String("churndump", "", "also write a raw smrtrace dump of the churn run to this directory (for smrtrace -analyze)")
+		churnsa   = flag.Float64("churnsa", 6, "steady-state space-amplification bound for -churn; exceeding it fails the run")
+		churnp99  = flag.Duration("churnp99", 250*time.Millisecond, "steady-state per-op device-time p99 bound for -churn")
 	)
 	flag.Parse()
 
+	if *churn != "" {
+		runChurn(churnOptions{
+			out: *churn, dumpDir: *churndump, minutes: *churnmins,
+			keys: *churnkeys, seed: seed1(*seed),
+			boundSA: *churnsa, boundP99: *churnp99,
+		})
+		return
+	}
 	if *scale != "" {
 		runScale(*scale, *scalewls, *scalecl, *netrecs, *ops, 1024, seed1(*seed))
 		return

@@ -408,3 +408,41 @@ func (m *Manager) AllocatedBytes() int64 {
 	defer m.mu.Unlock()
 	return m.frontier - m.freeByte
 }
+
+// FragProfile summarizes free-space fragmentation on the surface at
+// one instant: how many holes the free list holds, how much of the
+// free space sits in the single largest hole, where the append
+// frontier is, and a 0–1 fragmentation index. The index is
+// 1 − largest/free: 0 when the free space is one contiguous run (or
+// there is none at all), approaching 1 as the free bytes shatter into
+// many equally-useless holes.
+type FragProfile struct {
+	Holes       int     `json:"holes"`
+	FreeBytes   int64   `json:"free_bytes"`
+	LargestFree int64   `json:"largest_free"`
+	Frontier    int64   `json:"frontier"`
+	Capacity    int64   `json:"capacity"`
+	Index       float64 `json:"index"`
+}
+
+// FragProfile computes the fragmentation profile under one lock hold,
+// so the hole count, byte totals and frontier are mutually consistent.
+func (m *Manager) FragProfile() FragProfile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := FragProfile{
+		Holes:     len(m.byStart),
+		FreeBytes: m.freeByte,
+		Frontier:  m.frontier,
+		Capacity:  m.capacity,
+	}
+	for _, r := range m.byStart {
+		if r.length > p.LargestFree {
+			p.LargestFree = r.length
+		}
+	}
+	if p.FreeBytes > 0 {
+		p.Index = 1 - float64(p.LargestFree)/float64(p.FreeBytes)
+	}
+	return p
+}

@@ -1,0 +1,129 @@
+// Fragmentation-index edge cases: the 0–1 index must behave sanely
+// on the degenerate surfaces the churn scenario passes through — an
+// empty drive, a fully-packed frontier with no holes, a single hole,
+// a pathological alternating-hole free list — and the accounting must
+// be stable across free-list coalescing (the profile of a surface
+// depends only on which bytes are free, not on the order the frees
+// arrived in).
+package dband
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFragProfileEmptyDrive(t *testing.T) {
+	m := newMgr()
+	p := m.FragProfile()
+	if p.Holes != 0 || p.FreeBytes != 0 || p.LargestFree != 0 {
+		t.Fatalf("empty drive should have no holes: %+v", p)
+	}
+	if p.Frontier != 0 || p.Capacity != tCap {
+		t.Fatalf("frontier/capacity wrong: %+v", p)
+	}
+	if p.Index != 0 {
+		t.Fatalf("empty drive index = %g, want 0", p.Index)
+	}
+}
+
+func TestFragProfilePackedFrontier(t *testing.T) {
+	m := newMgr()
+	for i := 0; i < 8; i++ {
+		if _, _, err := m.Alloc(4 * tUnit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := m.FragProfile()
+	if p.Holes != 0 || p.FreeBytes != 0 {
+		t.Fatalf("packed frontier should have no holes: %+v", p)
+	}
+	if p.Frontier != 32*tUnit {
+		t.Fatalf("frontier %d, want %d", p.Frontier, 32*tUnit)
+	}
+	if p.Index != 0 {
+		t.Fatalf("packed frontier index = %g, want 0", p.Index)
+	}
+}
+
+func TestFragProfileSingleHole(t *testing.T) {
+	m := newMgr()
+	var exts []Extent
+	for i := 0; i < 4; i++ {
+		e, _, err := m.Alloc(4 * tUnit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exts = append(exts, e)
+	}
+	m.Free(exts[1]) // interior extent: one hole, frontier untouched
+	p := m.FragProfile()
+	if p.Holes != 1 || p.FreeBytes != 4*tUnit || p.LargestFree != 4*tUnit {
+		t.Fatalf("single hole profile wrong: %+v", p)
+	}
+	if p.Index != 0 {
+		t.Fatalf("one hole holds all free space, index = %g, want 0", p.Index)
+	}
+}
+
+// TestFragProfileAlternatingHoles frees every other extent: n equal
+// holes give index 1 − 1/n, the pathological shape approaching 1.
+func TestFragProfileAlternatingHoles(t *testing.T) {
+	m := newMgr()
+	var exts []Extent
+	for i := 0; i < 41; i++ {
+		e, _, err := m.Alloc(4 * tUnit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exts = append(exts, e)
+	}
+	// Free extents 1, 3, 5, ... 39: 20 equal interior holes that can
+	// never coalesce because their neighbours stay allocated.
+	for i := 1; i < 40; i += 2 {
+		m.Free(exts[i])
+	}
+	p := m.FragProfile()
+	if p.Holes != 20 || p.FreeBytes != 20*4*tUnit || p.LargestFree != 4*tUnit {
+		t.Fatalf("alternating holes profile wrong: %+v", p)
+	}
+	want := 1 - 1.0/20
+	if math.Abs(p.Index-want) > 1e-12 {
+		t.Fatalf("alternating holes index = %g, want %g", p.Index, want)
+	}
+}
+
+// TestFragProfileCoalescingStability frees three adjacent extents in
+// every arrival order: the final profile must be identical (one
+// coalesced hole), because the profile is a function of the surface,
+// not of the free-list history.
+func TestFragProfileCoalescingStability(t *testing.T) {
+	orders := [][]int{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	var want FragProfile
+	for i, order := range orders {
+		m := newMgr()
+		var exts []Extent
+		for j := 0; j < 5; j++ {
+			e, _, err := m.Alloc(4 * tUnit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exts = append(exts, e)
+		}
+		for _, j := range order {
+			m.Free(exts[j])
+		}
+		p := m.FragProfile()
+		if p.Holes != 1 || p.FreeBytes != 12*tUnit || p.LargestFree != 12*tUnit || p.Index != 0 {
+			t.Fatalf("order %v: coalesced profile wrong: %+v", order, p)
+		}
+		if i == 0 {
+			want = p
+			continue
+		}
+		if p != want {
+			t.Fatalf("order %v: profile %+v differs from first order's %+v", order, p, want)
+		}
+	}
+}

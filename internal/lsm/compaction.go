@@ -206,6 +206,7 @@ func (d *DB) runCompaction(c *compaction) error {
 			rec := version.SetRecord{ID: nums[0], Off: ext.Off, Len: ext.Len, Members: len(nums)}
 			newSet = &rec
 			d.sets.register(rec, nums)
+			d.surfaceClaim(ext.Off, rec.ID, outBytes)
 			d.metrics.setsCreated.Inc()
 		}
 	} else {
@@ -253,6 +254,10 @@ func (d *DB) runCompaction(c *compaction) error {
 	var freedExtents []storage.Extent
 	allInputs := append(append([]*version.FileMeta(nil), c.inputs0...), c.inputs1...)
 	for _, f := range allInputs {
+		// Surface accounting first, while the registry still knows the
+		// member's set: the input's bytes turn dead on its band until
+		// the extent (or its whole set) returns to the free list.
+		d.surfaceChargeInput(f.Num)
 		if ext, setID, emptied := d.sets.fileInvalid(f.Num); emptied {
 			edit.DropSets = append(edit.DropSets, setID)
 			freedExtents = append(freedExtents, ext)

@@ -185,6 +185,12 @@ type Config struct {
 	// segment becomes a garbage-collection victim (0 means the
 	// default of 0.5; negative disables automatic collection).
 	VlogGCDeadRatio float64
+	// SurfaceSnapshotInterval is the simulated-device-time interval
+	// between periodic storage-surface snapshot journal events
+	// (space_snapshot plus one band_snapshot per allocated band) in
+	// dynamic-band mode. 0 (the default) disables periodic snapshots;
+	// DB.SurfaceSnapshot still emits one on demand.
+	SurfaceSnapshotInterval time.Duration
 }
 
 // vlogEnabled reports whether this config separates values.
@@ -208,6 +214,15 @@ func (c *Config) vlogGCDeadRatio() float64 {
 		return 0.5
 	}
 	return c.VlogGCDeadRatio
+}
+
+// surfaceSnapshotEvery resolves the periodic surface-snapshot
+// interval in device nanoseconds (0 = disabled).
+func (c *Config) surfaceSnapshotEvery() int64 {
+	if c.SurfaceSnapshotInterval <= 0 {
+		return 0
+	}
+	return int64(c.SurfaceSnapshotInterval)
 }
 
 // writeRetries resolves the retry budget.

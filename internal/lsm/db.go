@@ -143,6 +143,7 @@ type DB struct {
 	// lockorder: lsm_db_mu < dband_manager_mu
 	// lockorder: lsm_db_mu < storage_write_mu
 	// lockorder: lsm_db_mu < storage_backend_mu
+	// lockorder: lsm_db_mu < band_stats_mu
 	mu        obs.Mutex
 	tableLRU  []uint64 // open-table recency, most recent last
 	mem       *memtable.MemTable
@@ -166,6 +167,15 @@ type DB struct {
 	// vlog is the value-log driver (vlog.go); populated only when
 	// Config.ValueThreshold enables key–value separation.
 	vlog vlogState
+
+	// surface is the storage-surface observatory (surface.go), active
+	// only in dynamic-band mode. Its own internal lock ("band_stats_mu",
+	// a leaf) serializes the accounting, so accesses need no other lock.
+	surface surface
+	// surfaceSnapEvery is the device-ns between periodic observatory
+	// snapshots (0 disables); set once at open, then read-only.
+	surfaceSnapEvery int64
+	surfaceSnapAt    int64 // device-ns of the last snapshot; guarded by mu
 
 	// Iterator pinning (see pins.go): live iterators defer reclamation
 	// of the table files they may still read.
@@ -207,6 +217,10 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 	}
 	d.mu.Profile("lsm_db_mu")
 	d.mem = memtable.New(d.nextMemSeed())
+	if dev.DBand != nil {
+		d.surface.init(cfg.BandSize)
+		d.surfaceSnapEvery = cfg.surfaceSnapshotEvery()
+	}
 	d.initObs()
 
 	vcfg := version.Config{
@@ -265,6 +279,11 @@ func OpenDevice(cfg Config, dev *Device) (*DB, error) {
 	if err := d.newWAL(); err != nil {
 		return nil, err
 	}
+	// Rebuild the storage-surface observatory from the recovered extent
+	// table last, discarding whatever partial picture the allocator
+	// observer accumulated during recovery traffic: after every open the
+	// incremental band accounting equals a fresh scan by construction.
+	d.surfaceRebuild()
 	return d, nil
 }
 

@@ -169,6 +169,7 @@ func (d *DB) relocateSet(rec version.SetRecord, files []*version.FileMeta, level
 	newID := d.vs.NewFileNum()
 	newRec := version.SetRecord{ID: newID, Off: ext.Off, Len: ext.Len, Members: len(nums)}
 	d.sets.register(newRec, nums)
+	d.surfaceClaim(ext.Off, newID, moved)
 
 	// One atomic edit: retire the old set, introduce the new one, and
 	// repoint every member's SetID.

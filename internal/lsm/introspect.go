@@ -200,7 +200,10 @@ func (d *DB) VerifyIntegrity() error {
 			return err
 		}
 	}
-	return d.verifyExtents(v)
+	if err := d.verifyExtents(v); err != nil {
+		return err
+	}
+	return d.verifySurfaceLocked()
 }
 
 // verifyVlog cross-checks key–value separation state: the segment
@@ -427,6 +430,93 @@ func (d *DB) verifyExtents(v *version.Version) error {
 				return fmt.Errorf("%s [%d,%d) overlaps allocator free region [%d,%d)",
 					sp.what, sp.off, sp.end, fr.Off, fr.Off+fr.Len)
 			}
+		}
+	}
+	return nil
+}
+
+// verifySurfaceLocked reconciles the storage-surface observatory's
+// incrementally maintained band accounting against the extent table:
+// the observatory must track exactly the owned extents (non-grouped
+// backend files, live set extents, pending reclaims), its physical
+// total must equal the allocator's, its incremental per-band alloc
+// counters must equal a fresh recomputation from its extent map, and
+// every extent's dead bytes must fit inside the extent. Caller holds
+// d.mu.
+func (d *DB) verifySurfaceLocked() error {
+	s := &d.surface
+	if !s.enabled {
+		return nil
+	}
+
+	// The fresh scan: the same span set verifyExtents checks.
+	want := map[int64]int64{}
+	for _, fr := range d.backend.Files() {
+		if fr.Grouped {
+			continue
+		}
+		want[fr.Extent.Off] = fr.Extent.Len
+	}
+	for _, rec := range d.vs.Sets() {
+		want[rec.Off] = rec.Len
+	}
+	for _, pr := range d.reclaims {
+		for _, ext := range pr.extents {
+			want[ext.Off] = ext.Len
+		}
+	}
+
+	exts := s.extents()
+	if len(exts) != len(want) {
+		return fmt.Errorf("surface tracks %d extents but the extent table owns %d", len(exts), len(want))
+	}
+	var phys int64
+	bands := map[int64]int64{}
+	for _, e := range exts {
+		if l, ok := want[e.Off]; !ok || l != e.Len {
+			return fmt.Errorf("surface extent [%d,%d) not in the extent table (table has len %d)", e.Off, e.Off+e.Len, l)
+		}
+		if e.Dead < 0 || e.Dead > e.Len {
+			return fmt.Errorf("surface extent [%d,%d) has dead bytes %d outside [0,%d]", e.Off, e.Off+e.Len, e.Dead, e.Len)
+		}
+		phys += e.Len
+		end := e.Off + e.Len
+		for b := e.Off / s.stride; b*s.stride < end; b++ {
+			lo, hi := b*s.stride, (b+1)*s.stride
+			if e.Off > lo {
+				lo = e.Off
+			}
+			if end < hi {
+				hi = end
+			}
+			bands[b] += hi - lo
+		}
+	}
+	gotPhys, gotDead := s.totals()
+	if gotPhys != phys {
+		return fmt.Errorf("surface physical counter %d != extent sum %d", gotPhys, phys)
+	}
+	if alloc := d.dev.DBand.AllocatedBytes(); gotPhys != alloc {
+		return fmt.Errorf("surface physical counter %d != allocator's %d", gotPhys, alloc)
+	}
+	if gotDead < 0 || gotDead > gotPhys {
+		return fmt.Errorf("surface dead counter %d outside [0,%d]", gotDead, gotPhys)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for b, alloc := range bands {
+		st := s.bands[b]
+		if st == nil || st.alloc != alloc {
+			var got int64
+			if st != nil {
+				got = st.alloc
+			}
+			return fmt.Errorf("band %d: incremental alloc %d != recomputed %d", b, got, alloc)
+		}
+	}
+	for b, st := range s.bands {
+		if st.alloc != bands[b] {
+			return fmt.Errorf("band %d: incremental alloc %d != recomputed %d", b, st.alloc, bands[b])
 		}
 	}
 	return nil

@@ -298,6 +298,40 @@ func (d *DB) registerGauges() {
 		reg.GaugeFunc("sealdb_dband_inserts", func() float64 { return float64(mgr.Stats().Inserts) })
 		reg.GaugeFunc("sealdb_dband_frees", func() float64 { return float64(mgr.Stats().Frees) })
 		reg.GaugeFunc("sealdb_dband_coalesces", func() float64 { return float64(mgr.Stats().Coalesces) })
+
+		// Storage-surface observatory (surface.go): per-band live/dead
+		// accounting, free-list fragmentation, and the continuous
+		// space-amplification counter next to WA/AWA above.
+		reg.GaugeFunc("sealdb_band_live_bytes", func() float64 {
+			phys, dead := d.surface.totals()
+			return float64(phys - dead)
+		})
+		reg.GaugeFunc("sealdb_band_dead_bytes", func() float64 {
+			_, dead := d.surface.totals()
+			return float64(dead)
+		})
+		reg.GaugeFunc("sealdb_band_heat_max", func() float64 {
+			return d.surface.maxHeat(d.deviceNow())
+		})
+		reg.GaugeFunc("sealdb_band_frag_holes", func() float64 {
+			return float64(mgr.FragProfile().Holes)
+		})
+		reg.GaugeFunc("sealdb_band_frag_largest_free", func() float64 {
+			return float64(mgr.FragProfile().LargestFree)
+		})
+		reg.GaugeFunc("sealdb_band_frag_index", func() float64 {
+			return mgr.FragProfile().Index
+		})
+		reg.GaugeFunc("sealdb_space_physical_bytes", func() float64 {
+			phys, _ := d.surface.totals()
+			return float64(phys)
+		})
+		reg.GaugeFunc("sealdb_space_live_bytes", func() float64 {
+			return float64(d.SpaceProfile().LogicalLiveBytes)
+		})
+		reg.GaugeFunc("sealdb_space_amplification", func() float64 {
+			return d.SpaceProfile().SpaceAmplification
+		})
 	}
 	if fbd, ok := smr.Base(d.drive).(*smr.FixedBandDrive); ok {
 		reg.GaugeFunc("sealdb_media_cache_cleans", func() float64 { return float64(fbd.MediaCacheStats().Cleans) })
@@ -351,6 +385,17 @@ func (d *DB) installDeviceObservers() {
 			d.journal.Record("dband_"+op, map[string]int64{
 				"off": e.Off, "len": e.Len,
 			})
+			// Feed the storage-surface observatory: the allocator
+			// observer sees the complete extent lifecycle (every
+			// grant and free flows through the dynamic band manager).
+			// Runs with dband_manager_mu held; the surface lock is a
+			// leaf below it.
+			switch op {
+			case "free":
+				d.surface.free(e.Off)
+			default: // alloc_append, alloc_insert
+				d.surface.alloc(e.Off, e.Len, int64(d.disk.Stats().BusyTime))
+			}
 		})
 	}
 }
@@ -441,6 +486,8 @@ func (d *DB) RuntimeProfile() obs.RuntimeProfile {
 // ObsHandler returns the observability HTTP handler: /metrics
 // (Prometheus text, or JSON with ?format=json), /debug/levels,
 // /debug/sets, /debug/events, /debug/faults, /debug/amplification,
+// /debug/bands (per-band heat/live/dead plus vlog segment occupancy),
+// /debug/space (the space-amplification counter and its inputs),
 // /debug/contention (?profile=on|off toggles lock profiling),
 // /debug/runtime, and the /debug/pprof/* suite. The cmd drivers mount
 // it behind their -serve flag.
@@ -452,6 +499,8 @@ func (d *DB) ObsHandler() http.Handler {
 	m.HandleJSON("/debug/events", func() any { return d.Events() })
 	m.HandleJSON("/debug/faults", func() any { return d.FaultProfile() })
 	m.HandleJSON("/debug/amplification", func() any { return d.AmplificationProfile() })
+	m.HandleJSON("/debug/bands", func() any { return d.BandProfile() })
+	m.HandleJSON("/debug/space", func() any { return d.SpaceProfile() })
 	m.HandleContention("/debug/contention")
 	m.HandleJSON("/debug/runtime", func() any { return d.RuntimeProfile() })
 	m.HandlePprof()

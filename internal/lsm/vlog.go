@@ -302,6 +302,12 @@ func (d *DB) vlogChargeDead(dead map[uint64]int64) []version.VlogDeadRecord {
 		d.vlog.tab.AddDead(num, dead[num])
 		recs = append(recs, version.VlogDeadRecord{Num: num, Dead: dead[num]})
 		total += dead[num]
+		// Mirror the charge onto the storage surface: the segment's
+		// extent accrues the dead bytes so /debug/bands shows value-log
+		// garbage on the bands holding it.
+		if ext, err := d.backend.FileExtent(num); err == nil {
+			d.surfaceChargeDead(ext.Off, dead[num])
+		}
 	}
 	d.metrics.vlogDeadBytes.Add(total)
 	return recs

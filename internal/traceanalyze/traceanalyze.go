@@ -73,6 +73,29 @@ type Meta struct {
 	// JournalDropped is how many events the journal ring evicted; when
 	// nonzero the event-derived recomputations are lower bounds.
 	JournalDropped int64 `json:"journal_dropped"`
+
+	// Surface captures the storage-surface observatory at the window
+	// edges in dynamic-band mode: the extent baseline the analyzer
+	// replays raw allocator events from, and the live end state it
+	// verifies the replay against. Nil outside dynamic-band mode.
+	Surface *SurfaceMeta `json:"surface,omitempty"`
+}
+
+// SurfaceMeta is the observatory's window-edge state inside Meta.
+type SurfaceMeta struct {
+	// VlogEnabled gates the logical-bytes (and hence SA) recompute:
+	// with key–value separation on, logical live bytes move through
+	// vlog GC relocation paths the journal does not fully itemize.
+	VlogEnabled bool `json:"vlog_enabled,omitempty"`
+	// StartExtents is the tracked extent set at Begin — the state the
+	// allocator-event replay starts from.
+	StartExtents []lsm.SurfaceExtent `json:"start_extents"`
+	// StartLogical is the logical live bytes (tables + vlog) at Begin.
+	StartLogical int64 `json:"start_logical"`
+	// End is the live space profile at Collect time.
+	End lsm.SpaceProfile `json:"end"`
+	// EndBands is the live per-band view at Collect time.
+	EndBands []lsm.BandRow `json:"end_bands"`
 }
 
 // Baseline anchors a dump's window: counters captured by Begin.
@@ -81,6 +104,11 @@ type Baseline struct {
 	Amp            lsm.Amplification
 	LevelWrite     []int64
 	JournalDropped int64
+
+	// Surface baseline (dynamic-band mode only, else nil/zero): the
+	// extent table and logical live bytes at Begin.
+	SurfaceExtents []lsm.SurfaceExtent
+	SurfaceLogical int64
 }
 
 // Begin starts a traced window on db: it clears and enables the
@@ -95,11 +123,16 @@ func Begin(db *lsm.DB) *Baseline {
 	for i, l := range p.Levels {
 		lw[i] = l.WriteBytes
 	}
-	return &Baseline{
+	b := &Baseline{
 		NS:         int64(db.Device().Disk.Stats().BusyTime),
 		Amp:        p.Overall,
 		LevelWrite: lw,
 	}
+	if db.Device().DBand != nil {
+		b.SurfaceExtents = db.SurfaceExtents()
+		b.SurfaceLogical = db.SpaceProfile().LogicalLiveBytes
+	}
+	return b
 }
 
 // Dump is an in-memory observability dump, ready to analyze or write.
@@ -117,6 +150,20 @@ func Collect(db *lsm.DB, base *Baseline) *Dump {
 	if fbd, ok := smr.Base(db.Device().Drive).(*smr.FixedBandDrive); ok {
 		cacheStart = fbd.CacheStart()
 	}
+	var surf *SurfaceMeta
+	if db.Device().DBand != nil {
+		// Close the window with a snapshot batch so the journal's last
+		// band_snapshot rows describe the end state the analyzer
+		// verifies its replay against.
+		db.SurfaceSnapshot()
+		surf = &SurfaceMeta{
+			VlogEnabled:  cfg.ValueThreshold > 0,
+			StartExtents: base.SurfaceExtents,
+			StartLogical: base.SurfaceLogical,
+			End:          db.SpaceProfile(),
+			EndBands:     db.BandProfile().Bands,
+		}
+	}
 	p := db.AmplificationProfile()
 	return &Dump{
 		Meta: Meta{
@@ -133,6 +180,7 @@ func Collect(db *lsm.DB, base *Baseline) *Dump {
 			StartLevelWriteBytes: append([]int64(nil), base.LevelWrite...),
 			Profile:              p,
 			JournalDropped:       db.JournalDropped(),
+			Surface:              surf,
 		},
 		Trace:  db.Device().Disk.Trace(),
 		Events: db.Events(),
